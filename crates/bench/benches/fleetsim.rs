@@ -1,0 +1,29 @@
+//! Fleet-generation throughput: how fast the synthetic CSS substrate
+//! produces population draws, telemetry histories and tickets.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleetsim");
+    group.sample_size(10);
+
+    group.bench_function("generate_tiny_fleet", |b| {
+        let cfg = FleetConfig::tiny(3);
+        b.iter(|| black_box(SimulatedFleet::generate(black_box(&cfg))));
+    });
+
+    group.bench_function("population_draws_only", |b| {
+        // Telemetry lottery with a zero healthy ratio isolates the
+        // population-scale hazard draws.
+        let cfg = FleetConfig::tiny(3).with_healthy_per_failure(0.0);
+        b.iter(|| black_box(SimulatedFleet::generate(black_box(&cfg))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_generation);
+criterion_main!(benches);

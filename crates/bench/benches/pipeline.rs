@@ -1,0 +1,50 @@
+//! End-to-end MFPA pipeline stage costs (the Criterion counterpart of
+//! Fig 20): preprocessing, labelling + sampling, and a full run.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfpa_core::preprocess::{preprocess, PreprocessConfig};
+use mfpa_core::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let fleet = SimulatedFleet::generate(&FleetConfig::tiny(9));
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("preprocess_all_drives", |b| {
+        let cfg = PreprocessConfig::default();
+        b.iter(|| {
+            let n = fleet
+                .drives()
+                .iter()
+                .filter_map(|d| preprocess(d.history(), d.firmware(), &cfg))
+                .count();
+            black_box(n)
+        })
+    });
+
+    group.bench_function("prepare_sfwb", |b| {
+        let mfpa = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest));
+        b.iter(|| black_box(mfpa.prepare(black_box(&fleet)).unwrap().n_rows()))
+    });
+
+    group.bench_function("train_eval_sfwb_rf", |b| {
+        let mfpa = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest));
+        let prepared = mfpa.prepare(&fleet).unwrap();
+        let split =
+            mfpa_dataset::split::timepoint_split_fraction(&prepared.samples().flat.times(), 0.7)
+                .unwrap();
+        b.iter(|| {
+            let trained = mfpa.train_rows(&prepared, &split.train).unwrap();
+            let report = trained.evaluate_rows(&prepared, &split.test, "bench").unwrap();
+            black_box(report.drive.auc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Shared experiment context: the fleet cache and scale knobs.
+
+use std::sync::OnceLock;
+
+use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
+
+/// Context shared by all experiments in one `repro` invocation.
+///
+/// The default fleet is generated lazily and reused; experiments that
+/// need a different fleet (e.g. the drift study) derive their own
+/// configuration from [`Ctx::base`] so scale flags propagate.
+#[derive(Debug)]
+pub struct Ctx {
+    base: FleetConfig,
+    fleet: OnceLock<SimulatedFleet>,
+}
+
+impl Ctx {
+    /// Creates a context from the base fleet configuration.
+    pub fn new(base: FleetConfig) -> Self {
+        Ctx { base, fleet: OnceLock::new() }
+    }
+
+    /// The base fleet configuration (seed + scale knobs).
+    pub fn base(&self) -> &FleetConfig {
+        &self.base
+    }
+
+    /// The shared default fleet (generated on first use).
+    pub fn fleet(&self) -> &SimulatedFleet {
+        self.fleet.get_or_init(|| {
+            eprintln!(
+                "[fleet] generating: fraction={} boost={} horizon={}d seed={}",
+                self.base.population_fraction,
+                self.base.hazard_boost,
+                self.base.horizon_days,
+                self.base.seed
+            );
+            let t = std::time::Instant::now();
+            let fleet = SimulatedFleet::generate(&self.base);
+            eprintln!(
+                "[fleet] ready in {:.1}s: population={} telemetry_drives={} failures={}",
+                t.elapsed().as_secs_f64(),
+                fleet.population(),
+                fleet.drives().len(),
+                fleet.failures().len()
+            );
+            fleet
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_cached() {
+        let ctx = Ctx::new(FleetConfig::tiny(1).with_population_fraction(0.0005));
+        let a = ctx.fleet() as *const _;
+        let b = ctx.fleet() as *const _;
+        assert_eq!(a, b);
+    }
+}

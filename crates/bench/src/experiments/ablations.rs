@@ -1,0 +1,90 @@
+//! Ablations of the design choices DESIGN.md calls out (§III-C(1)/(3)):
+//! gap handling, cumulative counters, the under-sampling ratio and the
+//! positive-window length.
+
+use mfpa_core::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
+use serde_json::json;
+
+use crate::ctx::Ctx;
+use crate::format::{metric_row, report_json, section};
+
+fn rf_config() -> MfpaConfig {
+    MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest)
+}
+
+/// Gap-drop / gap-fill constants (paper: drop ≥ 10, fill ≤ 3).
+pub fn ablate_gaps(ctx: &Ctx) -> serde_json::Value {
+    let fleet = ctx.fleet();
+    section("Ablation — gap handling (drop_gap / fill_gap)");
+    let mut rows = Vec::new();
+    for (drop_gap, fill_gap) in [(5i64, 3i64), (10, 0), (10, 3), (10, 7), (20, 3), (10_000, 3)] {
+        let mut cfg = rf_config();
+        cfg.preprocess.drop_gap = drop_gap;
+        cfg.preprocess.fill_gap = fill_gap;
+        match Mfpa::new(cfg).run(fleet) {
+            Ok(r) => {
+                let label = format!("drop≥{drop_gap} fill≤{fill_gap}");
+                println!("  {}", metric_row(&label, &r));
+                rows.push(json!({
+                    "drop_gap": drop_gap, "fill_gap": fill_gap, "report": report_json(&r)
+                }));
+            }
+            Err(e) => println!("  drop≥{drop_gap} fill≤{fill_gap}: error {e}"),
+        }
+    }
+    println!("  paper choice: drop ≥ 10, fill ≤ 3");
+    json!({ "rows": rows })
+}
+
+/// Cumulative vs daily W/B counters (§III-C(1)).
+pub fn ablate_cumsum(ctx: &Ctx) -> serde_json::Value {
+    let fleet = ctx.fleet();
+    section("Ablation — cumulative vs daily W/B counters");
+    let mut rows = Vec::new();
+    for cumulative in [true, false] {
+        let mut cfg = rf_config();
+        cfg.preprocess.cumulative_events = cumulative;
+        let r = Mfpa::new(cfg).run(fleet).expect("run");
+        let label = if cumulative { "cumulative (paper)" } else { "daily counts" };
+        println!("  {}", metric_row(label, &r));
+        rows.push(json!({ "cumulative": cumulative, "report": report_json(&r) }));
+    }
+    println!("  paper: daily counts are too noisy to show trends — accumulate them");
+    json!({ "rows": rows })
+}
+
+/// Under-sampling ratio (paper mentions 3:1 and 5:1).
+pub fn ablate_ratio(ctx: &Ctx) -> serde_json::Value {
+    let fleet = ctx.fleet();
+    section("Ablation — negative:positive under-sampling ratio");
+    let mut rows = Vec::new();
+    for ratio in [Some(1.0), Some(3.0), Some(5.0), Some(10.0), None] {
+        let cfg = rf_config().with_undersample_ratio(ratio);
+        let label = match ratio {
+            Some(r) => format!("{r}:1"),
+            None => "no under-sampling".to_owned(),
+        };
+        match Mfpa::new(cfg).run(fleet) {
+            Ok(r) => {
+                println!("  {}", metric_row(&label, &r));
+                rows.push(json!({ "ratio": ratio, "report": report_json(&r) }));
+            }
+            Err(e) => println!("  {label}: error {e}"),
+        }
+    }
+    json!({ "rows": rows })
+}
+
+/// Positive-window length (paper: 7, 14 or 21 days).
+pub fn ablate_window(ctx: &Ctx) -> serde_json::Value {
+    let fleet = ctx.fleet();
+    section("Ablation — positive-window length");
+    let mut rows = Vec::new();
+    for days in [7i64, 14, 21] {
+        let cfg = rf_config().with_positive_window(days);
+        let r = Mfpa::new(cfg).run(fleet).expect("run");
+        println!("  {}", metric_row(&format!("{days}-day window"), &r));
+        rows.push(json!({ "window_days": days, "report": report_json(&r) }));
+    }
+    json!({ "rows": rows })
+}

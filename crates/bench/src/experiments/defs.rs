@@ -1,0 +1,75 @@
+//! Definitional tables (II–V): printed from the domain types so the
+//! reproduction's vocabulary is auditable against the paper.
+
+use mfpa_core::FeatureGroup;
+use mfpa_telemetry::{BsodCode, SmartAttr, WindowsEventId};
+use serde_json::json;
+
+use crate::ctx::Ctx;
+use crate::format::section;
+
+/// Table II: the 16 SMART attributes.
+pub fn table2(_ctx: &Ctx) -> serde_json::Value {
+    section("Table II — SMART attributes");
+    for attr in SmartAttr::ALL {
+        println!(
+            "  {:<5} {:<42} {}",
+            attr.to_string(),
+            attr.name(),
+            if attr.is_cumulative() { "(cumulative)" } else { "(gauge)" }
+        );
+    }
+    json!({
+        "attributes": SmartAttr::ALL.iter()
+            .map(|a| json!({"id": a.id(), "name": a.name(), "cumulative": a.is_cumulative()}))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Table III: the tracked Windows events.
+pub fn table3(_ctx: &Ctx) -> serde_json::Value {
+    section("Table III — WindowsEvent logs");
+    for ev in WindowsEventId::ALL {
+        println!("  {:<6} {}", ev.to_string(), ev.description());
+    }
+    json!({
+        "events": WindowsEventId::ALL.iter()
+            .map(|e| json!({"id": e.id(), "description": e.description()}))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Table IV: the tracked BSOD stop codes.
+pub fn table4(_ctx: &Ctx) -> serde_json::Value {
+    section("Table IV — BlueScreenOfDeath stop codes");
+    for code in BsodCode::ALL {
+        println!(
+            "  {:<7} {:<42} {}",
+            code.to_string(),
+            code.name(),
+            if code.is_storage_related() { "(storage)" } else { "" }
+        );
+    }
+    json!({
+        "codes": BsodCode::ALL.iter()
+            .map(|b| json!({"code": b.code(), "name": b.name(), "storage": b.is_storage_related()}))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Table V: feature-group widths.
+pub fn table5(_ctx: &Ctx) -> serde_json::Value {
+    section("Table V — feature groups");
+    println!("  {:<6} {:>6} {:>9} {:>13} {:>18}", "group", "SMART", "Firmware", "WindowsEvent", "BlueScreenOfDeath");
+    let mut rows = Vec::new();
+    for g in FeatureGroup::ALL {
+        let feats = g.features();
+        let smart = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::Smart(_))).count();
+        let fw = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::Firmware)).count();
+        let w = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::WinEventCum(_))).count();
+        let b = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::BsodCum(_))).count();
+        println!("  {:<6} {:>6} {:>9} {:>13} {:>18}", g.name(), smart, fw, w, b);
+        rows.push(json!({"group": g.name(), "smart": smart, "firmware": fw, "w": w, "b": b}));
+    }
+    json!({ "groups": rows })
+}

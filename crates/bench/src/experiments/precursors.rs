@@ -1,0 +1,98 @@
+//! Figs 4–5: cumulative Windows-event / BSOD trajectories of healthy vs
+//! faulty drives — the paper's visual argument that W/B are early
+//! failure signals.
+
+use mfpa_fleetsim::{SimulatedDrive, SimulatedFleet};
+use mfpa_telemetry::{BsodCode, WindowsEventId};
+use serde_json::json;
+
+use crate::ctx::Ctx;
+use crate::format::section;
+
+/// Picks `n` faulty and `n` healthy drives with reasonably long
+/// histories, deterministically.
+fn pick_drives(fleet: &SimulatedFleet, n: usize) -> (Vec<&SimulatedDrive>, Vec<&SimulatedDrive>) {
+    let mut faulty: Vec<&SimulatedDrive> = fleet
+        .drives()
+        .iter()
+        .filter(|d| d.truth().is_some() && d.history().len() >= 20)
+        .collect();
+    // Prefer drives with the most pre-failure data (clearest curves).
+    faulty.sort_by_key(|d| std::cmp::Reverse(d.history().len()));
+    let healthy: Vec<&SimulatedDrive> = fleet
+        .drives()
+        .iter()
+        .filter(|d| d.truth().is_none() && d.history().len() >= 20)
+        .take(n)
+        .collect();
+    (faulty.into_iter().take(n).collect(), healthy)
+}
+
+fn cumulative_curves(
+    ctx: &Ctx,
+    title: &str,
+    metric_name: &str,
+    extract: impl Fn(&SimulatedDrive) -> Vec<(i64, u64)>,
+) -> serde_json::Value {
+    let fleet = ctx.fleet();
+    section(title);
+    let (faulty, healthy) = pick_drives(fleet, 4);
+    let mut rows = Vec::new();
+    let mut print_drive = |label: String, d: &SimulatedDrive| {
+        let curve = extract(d);
+        let last = curve.last().map_or(0, |&(_, v)| v);
+        // Sample ~8 evenly spaced points for the printed curve.
+        let step = (curve.len() / 8).max(1);
+        let samples: Vec<(i64, u64)> = curve.iter().step_by(step).cloned().collect();
+        println!("  {label:<4} final {metric_name}={last:<5} curve {samples:?}");
+        rows.push(json!({ "drive": label, "final": last, "curve": curve }));
+        last
+    };
+    let mut faulty_finals = Vec::new();
+    for (i, d) in faulty.iter().enumerate() {
+        faulty_finals.push(print_drive(format!("F{}", i + 1), d));
+    }
+    let mut healthy_finals = Vec::new();
+    for (i, d) in healthy.iter().enumerate() {
+        healthy_finals.push(print_drive(format!("N{}", i + 1), d));
+    }
+    let f_mean = faulty_finals.iter().sum::<u64>() as f64 / faulty_finals.len().max(1) as f64;
+    let n_mean = healthy_finals.iter().sum::<u64>() as f64 / healthy_finals.len().max(1) as f64;
+    println!(
+        "  mean final count: faulty {f_mean:.1} vs healthy {n_mean:.1} (paper: faulty ≫ healthy)"
+    );
+    json!({ "rows": rows, "faulty_mean_final": f_mean, "healthy_mean_final": n_mean })
+}
+
+/// Fig 4: cumulative `W_161` before failure, faulty (F1–F4) vs healthy
+/// (N1–N4).
+pub fn fig4(ctx: &Ctx) -> serde_json::Value {
+    cumulative_curves(
+        ctx,
+        "Fig 4 — cumulative W_161 (file-system error during IO)",
+        "W_161",
+        |d| {
+            d.history()
+                .cumulative_w(WindowsEventId::W161)
+                .into_iter()
+                .map(|(day, v)| (day.day(), v))
+                .collect()
+        },
+    )
+}
+
+/// Fig 5: cumulative `B_50` (PAGE_FAULT_IN_NONPAGED_AREA) before failure.
+pub fn fig5(ctx: &Ctx) -> serde_json::Value {
+    cumulative_curves(
+        ctx,
+        "Fig 5 — cumulative B_50 (PAGE_FAULT_IN_NONPAGED_AREA)",
+        "B_50",
+        |d| {
+            d.history()
+                .cumulative_b(BsodCode::B0x50)
+                .into_iter()
+                .map(|(day, v)| (day.day(), v))
+                .collect()
+        },
+    )
+}

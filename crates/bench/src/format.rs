@@ -1,0 +1,76 @@
+//! Small formatting helpers for experiment output.
+
+use mfpa_core::EvalReport;
+
+/// Prints a section banner.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// One metric row (drive-level) of a comparison table.
+pub fn metric_row(label: &str, report: &EvalReport) -> String {
+    format!(
+        "{label:<28} TPR={:>7} FPR={:>6} ACC={:>7} PDR={:>6} AUC={:.4}",
+        pct(report.drive.tpr()),
+        pct(report.drive.fpr()),
+        pct(report.drive.acc()),
+        pct(report.drive.pdr()),
+        report.drive.auc
+    )
+}
+
+/// Serialises the drive/sample metric pair of a report for JSON output.
+pub fn report_json(report: &EvalReport) -> serde_json::Value {
+    serde_json::json!({
+        "name": report.name,
+        "drive": {
+            "tpr": report.drive.tpr(),
+            "fpr": report.drive.fpr(),
+            "acc": report.drive.acc(),
+            "pdr": report.drive.pdr(),
+            "auc": report.drive.auc,
+        },
+        "sample": {
+            "tpr": report.sample.tpr(),
+            "fpr": report.sample.fpr(),
+            "acc": report.sample.acc(),
+            "pdr": report.sample.pdr(),
+            "auc": report.sample.auc,
+        },
+        "n_test_drives": report.n_test_drives,
+        "n_failed_test_drives": report.n_failed_test_drives,
+    })
+}
+
+/// Renders a sparkline-style ASCII bar for quick shape checks.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9818), "98.18%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

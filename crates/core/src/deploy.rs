@@ -1,0 +1,217 @@
+//! Client-side deployment: incremental per-drive scoring.
+//!
+//! §IV Fig 20: "Microsecond prediction can be achieved for the model
+//! deployed on the client side. The model is iterated every two months
+//! and pushed to the user for updates." A [`DriveMonitor`] lives on one
+//! machine, ingests that machine's daily telemetry record, maintains the
+//! cumulative multidimensional feature row incrementally, and scores it
+//! against a trained MFPA model — no batch pipeline required.
+
+use mfpa_dataset::Matrix;
+use mfpa_telemetry::{BsodCode, DailyRecord, DayStamp, FirmwareVersion, SerialNumber};
+
+use crate::error::CoreError;
+use crate::features::{FeatureId, MODEL_W_EVENTS};
+use crate::pipeline::TrainedMfpa;
+
+/// Incremental feature state for one monitored drive.
+///
+/// Feed records chronologically via [`DriveMonitor::ingest`]; each call
+/// returns the current full 45-column feature row. [`DriveMonitor::score`]
+/// additionally runs a trained (flat) MFPA model over it.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_core::deploy::DriveMonitor;
+/// use mfpa_telemetry::{DailyRecord, DayStamp, FirmwareVersion, SerialNumber,
+///                      SmartValues, Vendor};
+///
+/// let fw = FirmwareVersion::new(Vendor::I, 2);
+/// let mut monitor = DriveMonitor::new(SerialNumber::new(Vendor::I, 1), fw.clone());
+/// let record = DailyRecord {
+///     day: DayStamp::new(0),
+///     smart: SmartValues::default(),
+///     firmware: fw,
+///     w_counts: [1, 0, 0, 0, 0, 0, 0, 0, 0],
+///     b_counts: [0; 23],
+/// };
+/// let row = monitor.ingest(&record)?;
+/// assert_eq!(row.len(), 45);
+/// # Ok::<(), mfpa_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriveMonitor {
+    serial: SerialNumber,
+    firmware: FirmwareVersion,
+    w_cum: [u64; 5],
+    b_cum: [u64; 23],
+    last_day: Option<DayStamp>,
+}
+
+impl DriveMonitor {
+    /// Creates a monitor for one drive.
+    pub fn new(serial: SerialNumber, firmware: FirmwareVersion) -> Self {
+        DriveMonitor { serial, firmware, w_cum: [0; 5], b_cum: [0; 23], last_day: None }
+    }
+
+    /// The monitored drive's serial.
+    pub fn serial(&self) -> SerialNumber {
+        self.serial
+    }
+
+    /// The last ingested day, if any.
+    pub fn last_day(&self) -> Option<DayStamp> {
+        self.last_day
+    }
+
+    /// Ingests one daily record and returns the current full feature row
+    /// (canonical [`FeatureId::full_row`] order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the record is out of
+    /// chronological order — cumulative counters cannot run backwards.
+    pub fn ingest(&mut self, record: &DailyRecord) -> Result<Vec<f64>, CoreError> {
+        if let Some(last) = self.last_day {
+            if record.day <= last {
+                return Err(CoreError::InvalidConfig(format!(
+                    "record for {} is not after the last ingested day {last}",
+                    record.day
+                )));
+            }
+        }
+        self.last_day = Some(record.day);
+        // Firmware updates in the field are tracked as they appear.
+        if record.firmware != self.firmware {
+            self.firmware = record.firmware.clone();
+        }
+        for (slot, ev) in self.w_cum.iter_mut().zip(MODEL_W_EVENTS) {
+            *slot += u64::from(record.w(ev));
+        }
+        for (slot, code) in self.b_cum.iter_mut().zip(BsodCode::ALL) {
+            *slot += u64::from(record.b(code));
+        }
+
+        let mut row = Vec::with_capacity(45);
+        row.extend(record.smart.as_slice());
+        row.push(self.firmware.encoded());
+        row.extend(self.w_cum.iter().map(|&v| v as f64));
+        row.extend(self.b_cum.iter().map(|&v| v as f64));
+        debug_assert_eq!(row.len(), FeatureId::full_row().len());
+        Ok(row)
+    }
+
+    /// Ingests one record and scores it with a trained flat-feature MFPA
+    /// model, returning the failure probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for out-of-order records or a
+    /// sequence model (CNN_LSTM needs windows, not single rows), and
+    /// propagates prediction errors.
+    pub fn score(
+        &mut self,
+        record: &DailyRecord,
+        trained: &TrainedMfpa,
+    ) -> Result<f64, CoreError> {
+        if trained.uses_sequence() {
+            return Err(CoreError::InvalidConfig(
+                "DriveMonitor scores flat models; sequence models need windowed input".into(),
+            ));
+        }
+        let full = self.ingest(record)?;
+        let selected: Vec<f64> =
+            trained.features().iter().map(|f| full[f.full_index()]).collect();
+        let x = Matrix::from_rows(std::slice::from_ref(&selected))?;
+        Ok(trained.predict_matrix(&x)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfpa_telemetry::{SmartValues, Vendor, WindowsEventId};
+
+    fn record(day: i64, w161: u32) -> DailyRecord {
+        let mut w = [0u32; 9];
+        w[WindowsEventId::W161.index()] = w161;
+        DailyRecord {
+            day: DayStamp::new(day),
+            smart: SmartValues::default(),
+            firmware: FirmwareVersion::new(Vendor::I, 1),
+            w_counts: w,
+            b_counts: [0; 23],
+        }
+    }
+
+    fn monitor() -> DriveMonitor {
+        DriveMonitor::new(SerialNumber::new(Vendor::I, 1), FirmwareVersion::new(Vendor::I, 1))
+    }
+
+    #[test]
+    fn accumulates_event_counters() {
+        let mut m = monitor();
+        let w161_col = FeatureId::WinEventCum(WindowsEventId::W161).full_index();
+        let r1 = m.ingest(&record(0, 2)).unwrap();
+        let r2 = m.ingest(&record(3, 1)).unwrap();
+        assert_eq!(r1[w161_col], 2.0);
+        assert_eq!(r2[w161_col], 3.0);
+        assert_eq!(m.last_day(), Some(DayStamp::new(3)));
+    }
+
+    #[test]
+    fn rejects_out_of_order_records() {
+        let mut m = monitor();
+        m.ingest(&record(5, 0)).unwrap();
+        assert!(matches!(m.ingest(&record(5, 0)), Err(CoreError::InvalidConfig(_))));
+        assert!(matches!(m.ingest(&record(4, 0)), Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn tracks_firmware_updates() {
+        let mut m = monitor();
+        let mut rec = record(0, 0);
+        rec.firmware = FirmwareVersion::new(Vendor::I, 3);
+        let row = m.ingest(&rec).unwrap();
+        assert_eq!(row[FeatureId::Firmware.full_index()], 3.0);
+    }
+
+    #[test]
+    fn scores_against_a_trained_pipeline() {
+        use crate::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
+        use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
+
+        let fleet = SimulatedFleet::generate(
+            &FleetConfig::tiny(21).with_population_fraction(0.001),
+        );
+        let mfpa = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest));
+        let prepared = mfpa.prepare(&fleet).expect("prepare");
+        let all: Vec<usize> = (0..prepared.n_rows()).collect();
+        let trained = mfpa.train_rows(&prepared, &all).expect("train");
+
+        // Replay a healthy drive through the monitor: scores stay low.
+        let healthy = fleet.drives().iter().find(|d| d.truth().is_none()).expect("healthy");
+        let mut m = DriveMonitor::new(healthy.serial(), healthy.firmware().clone());
+        let mut max_p: f64 = 0.0;
+        for rec in healthy.history().records() {
+            max_p = max_p.max(m.score(rec, &trained).expect("score"));
+        }
+        assert!(max_p < 0.9, "healthy drive peaked at {max_p}");
+
+        // Replay a loud faulty drive: the final score should be higher
+        // than the healthy drive's peak.
+        let faulty = fleet
+            .drives()
+            .iter()
+            .filter(|d| d.truth().is_some())
+            .max_by_key(|d| d.history().records().iter().map(|r| r.event_total()).sum::<u32>())
+            .expect("faulty");
+        let mut m = DriveMonitor::new(faulty.serial(), faulty.firmware().clone());
+        let mut last_p = 0.0;
+        for rec in faulty.history().records() {
+            last_p = m.score(rec, &trained).expect("score");
+        }
+        assert!(last_p > max_p, "faulty final {last_p} vs healthy peak {max_p}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the MFPA pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use mfpa_dataset::DatasetError;
+use mfpa_ml::MlError;
+
+/// Errors returned by pipeline construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Preprocessing left no usable drive series.
+    NoUsableDrives,
+    /// The training window contains no positive (or no negative) samples;
+    /// carries a description of what was missing.
+    DegenerateTrainingSet(String),
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// An underlying dataset operation failed.
+    Dataset(String),
+    /// An underlying model operation failed.
+    Model(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoUsableDrives => {
+                f.write_str("preprocessing left no usable drive series")
+            }
+            CoreError::DegenerateTrainingSet(what) => {
+                write!(f, "degenerate training set: {what}")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+            CoreError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<DatasetError> for CoreError {
+    fn from(e: DatasetError) -> Self {
+        CoreError::Dataset(e.to_string())
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(CoreError::NoUsableDrives.to_string().contains("no usable"));
+        let e: CoreError = DatasetError::Empty.into();
+        assert!(matches!(e, CoreError::Dataset(_)));
+        let e: CoreError = MlError::NotFitted.into();
+        assert!(matches!(e, CoreError::Model(_)));
+        assert!(CoreError::DegenerateTrainingSet("no positives".into())
+            .to_string()
+            .contains("no positives"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,657 @@
+//! The end-to-end MFPA pipeline: preprocess → label → sample → split →
+//! balance → train → evaluate.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mfpa_dataset::{split, Matrix, RandomUnderSampler};
+use mfpa_fleetsim::SimulatedFleet;
+use mfpa_ml::metrics::{auc, ConfusionMatrix};
+use mfpa_ml::Classifier;
+use mfpa_telemetry::{SerialNumber, Vendor};
+use serde::{Deserialize, Serialize};
+
+use crate::algorithms::Algorithm;
+use crate::error::CoreError;
+use crate::features::{FeatureGroup, FeatureId};
+use crate::labeling::{label_failures, LabelingConfig};
+use crate::preprocess::{preprocess, CleanSeries, PreprocessConfig};
+use crate::report::{EvalReport, MetricSet, StageTimings};
+use crate::windows::{SampleSet, WindowConfig};
+
+/// Train/test segmentation strategy (Fig 8(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitStrategy {
+    /// Naive random split with the given test fraction.
+    Ratio {
+        /// Fraction of rows assigned to the test set.
+        test_fraction: f64,
+    },
+    /// The paper's timepoint-based segmentation: the earliest
+    /// `train_fraction` of rows (by time) trains, the rest tests.
+    TimePoint {
+        /// Fraction of rows (time-quantile) in the learning window.
+        train_fraction: f64,
+    },
+}
+
+/// Cross-validation strategy (Fig 8(b)) — consumed by the tuning
+/// helpers and the Fig 8 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CvStrategy {
+    /// Classic shuffled k-fold.
+    KFold(usize),
+    /// The paper's chronological 2k-subset scheme.
+    TimeSeries(usize),
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MfpaConfig {
+    /// Feature group fed to the model (Table V).
+    pub feature_group: FeatureGroup,
+    /// Explicit column override (feature selection / baselines); takes
+    /// precedence over `feature_group` when set.
+    pub custom_columns: Option<Vec<FeatureId>>,
+    /// Model family.
+    pub algorithm: Algorithm,
+    /// Gap-handling constants (§III-C(1)).
+    pub preprocess: PreprocessConfig,
+    /// θ-labelling constants (§III-C(2)).
+    pub labeling: LabelingConfig,
+    /// Positive-window / lookahead / sequence-length constants.
+    pub window: WindowConfig,
+    /// Negative:positive under-sampling ratio for training
+    /// (`None` trains on the raw imbalance).
+    pub undersample_ratio: Option<f64>,
+    /// Train/test segmentation.
+    pub split: SplitStrategy,
+    /// Decision threshold on predicted probability.
+    pub threshold: f64,
+    /// Restrict the pipeline to one vendor (per-vendor models, Fig 11).
+    pub vendor: Option<Vendor>,
+    /// Seed for sampling and model training.
+    pub seed: u64,
+}
+
+impl MfpaConfig {
+    /// Creates the default configuration for a feature group and
+    /// algorithm: θ = 7, 14-day positive window, 3:1 under-sampling,
+    /// timepoint split at 70%.
+    pub fn new(feature_group: FeatureGroup, algorithm: Algorithm) -> Self {
+        MfpaConfig {
+            feature_group,
+            custom_columns: None,
+            algorithm,
+            preprocess: PreprocessConfig::default(),
+            labeling: LabelingConfig::default(),
+            window: WindowConfig::default(),
+            undersample_ratio: Some(3.0),
+            split: SplitStrategy::TimePoint { train_fraction: 0.7 },
+            threshold: 0.5,
+            vendor: None,
+            seed: 17,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts to one vendor.
+    pub fn with_vendor(mut self, vendor: Vendor) -> Self {
+        self.vendor = Some(vendor);
+        self
+    }
+
+    /// Sets the θ threshold.
+    pub fn with_theta(mut self, theta: i64) -> Self {
+        self.labeling.theta = theta.max(0);
+        self
+    }
+
+    /// Sets the positive-window length (days).
+    pub fn with_positive_window(mut self, days: i64) -> Self {
+        self.window.positive_window = days.max(1);
+        self
+    }
+
+    /// Sets the lookahead N (days).
+    pub fn with_lookahead(mut self, days: i64) -> Self {
+        self.window.lookahead = days.max(0);
+        self
+    }
+
+    /// Sets or disables the under-sampling ratio.
+    pub fn with_undersample_ratio(mut self, ratio: Option<f64>) -> Self {
+        self.undersample_ratio = ratio;
+        self
+    }
+
+    /// Sets the split strategy.
+    pub fn with_split(mut self, split: SplitStrategy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Sets the decision threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the model's columns explicitly.
+    pub fn with_custom_columns(mut self, columns: Vec<FeatureId>) -> Self {
+        self.custom_columns = Some(columns);
+        self
+    }
+
+    /// The columns the model will see.
+    pub fn selected_features(&self) -> Vec<FeatureId> {
+        self.custom_columns
+            .clone()
+            .unwrap_or_else(|| self.feature_group.features())
+    }
+
+    /// A human-readable label for reports.
+    pub fn label(&self) -> String {
+        let vendor = self
+            .vendor
+            .map(|v| format!(" vendor={v}"))
+            .unwrap_or_default();
+        let cols = if self.custom_columns.is_some() { "custom" } else { self.feature_group.name() };
+        format!("{}+{}{}", cols, self.algorithm.name(), vendor)
+    }
+}
+
+/// Preprocessed, labelled, sampled data — reusable across models and
+/// evaluation windows.
+#[derive(Debug)]
+pub struct Prepared {
+    samples: SampleSet,
+    failure_days: HashMap<SerialNumber, i64>,
+    n_raw_records: usize,
+    n_series: usize,
+    preprocess_secs: f64,
+    labeling_secs: f64,
+    sampling_secs: f64,
+}
+
+impl Prepared {
+    /// The assembled sample set (flat + sequence views, full columns).
+    pub fn samples(&self) -> &SampleSet {
+        &self.samples
+    }
+
+    /// θ-identified failure day per ticketed drive.
+    pub fn failure_days(&self) -> &HashMap<SerialNumber, i64> {
+        &self.failure_days
+    }
+
+    /// Number of sample rows.
+    pub fn n_rows(&self) -> usize {
+        self.samples.flat.n_rows()
+    }
+
+    /// Number of drive series that survived preprocessing.
+    pub fn n_series(&self) -> usize {
+        self.n_series
+    }
+
+    /// Number of raw telemetry records consumed.
+    pub fn n_raw_records(&self) -> usize {
+        self.n_raw_records
+    }
+
+    /// Row indices whose collection time lies in `[from, to)`.
+    pub fn rows_in_window(&self, from: i64, to: i64) -> Vec<usize> {
+        self.samples
+            .flat
+            .meta()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.time >= from && m.time < to)
+            .map(|(ix, _)| ix)
+            .collect()
+    }
+}
+
+/// The MFPA pipeline for one configuration.
+#[derive(Debug, Clone)]
+pub struct Mfpa {
+    config: MfpaConfig,
+}
+
+impl Mfpa {
+    /// Creates a pipeline.
+    pub fn new(config: MfpaConfig) -> Self {
+        Mfpa { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &MfpaConfig {
+        &self.config
+    }
+
+    /// Stage 1–3: preprocess, θ-label, assemble samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoUsableDrives`] if preprocessing leaves
+    /// nothing.
+    pub fn prepare(&self, fleet: &SimulatedFleet) -> Result<Prepared, CoreError> {
+        let t0 = Instant::now();
+        let mut series: Vec<CleanSeries> = Vec::new();
+        let mut n_raw_records = 0usize;
+        for drive in fleet.drives() {
+            if let Some(v) = self.config.vendor {
+                if drive.vendor() != v {
+                    continue;
+                }
+            }
+            n_raw_records += drive.history().len();
+            if let Some(s) =
+                preprocess(drive.history(), drive.firmware(), &self.config.preprocess)
+            {
+                series.push(s);
+            }
+        }
+        let preprocess_secs = t0.elapsed().as_secs_f64();
+        if series.is_empty() {
+            return Err(CoreError::NoUsableDrives);
+        }
+
+        let t1 = Instant::now();
+        let failure_days = label_failures(&series, fleet.tickets(), &self.config.labeling);
+        let labeling_secs = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let samples = crate::windows::build_samples_for(
+            &series,
+            &failure_days,
+            &self.config.window,
+            self.config.algorithm.needs_sequence(),
+        )?;
+        let sampling_secs = t2.elapsed().as_secs_f64();
+
+        Ok(Prepared {
+            samples,
+            failure_days,
+            n_raw_records,
+            n_series: series.len(),
+            preprocess_secs,
+            labeling_secs,
+            sampling_secs,
+        })
+    }
+
+    /// Trains on the given rows (under-sampling applied internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DegenerateTrainingSet`] when the rows contain
+    /// a single class.
+    pub fn train_rows(
+        &self,
+        prepared: &Prepared,
+        rows: &[usize],
+    ) -> Result<TrainedMfpa, CoreError> {
+        let features = self.config.selected_features();
+        let uses_seq = self.config.algorithm.needs_sequence();
+        let frame = if uses_seq { &prepared.samples.seq } else { &prepared.samples.flat };
+
+        let labels: Vec<bool> = rows.iter().map(|&i| frame.labels()[i]).collect();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        if rows.is_empty() || n_pos == 0 {
+            return Err(CoreError::DegenerateTrainingSet(
+                "no positive samples in the training window".into(),
+            ));
+        }
+        if n_pos == labels.len() {
+            return Err(CoreError::DegenerateTrainingSet(
+                "no negative samples in the training window".into(),
+            ));
+        }
+
+        let kept: Vec<usize> = match self.config.undersample_ratio {
+            Some(ratio) => {
+                let sampler = RandomUnderSampler::new(ratio, self.config.seed)
+                    .map_err(CoreError::from)?;
+                sampler.sample(&labels).into_iter().map(|i| rows[i]).collect()
+            }
+            None => rows.to_vec(),
+        };
+
+        let cols = col_indices(&features, uses_seq, self.config.window.seq_len);
+        let sub = frame.select_rows(&kept).select_cols(&cols);
+        let y: Vec<bool> = sub.labels().to_vec();
+
+        let mut model =
+            self.config
+                .algorithm
+                .build(self.config.seed, self.config.window.seq_len, &features);
+        let t0 = Instant::now();
+        model.fit(sub.matrix(), &y).map_err(|e| match e {
+            mfpa_ml::MlError::SingleClass => CoreError::DegenerateTrainingSet(
+                "under-sampling left a single class".into(),
+            ),
+            other => CoreError::from(other),
+        })?;
+        let train_secs = t0.elapsed().as_secs_f64();
+
+        Ok(TrainedMfpa {
+            model,
+            features,
+            uses_seq,
+            seq_len: self.config.window.seq_len,
+            threshold: self.config.threshold,
+            train_secs,
+            n_train_rows: kept.len(),
+        })
+    }
+
+    /// Runs the whole pipeline: prepare, split, train, evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and training errors.
+    pub fn run(&self, fleet: &SimulatedFleet) -> Result<EvalReport, CoreError> {
+        let prepared = self.prepare(fleet)?;
+        let times = prepared.samples.flat.times();
+        let the_split = match self.config.split {
+            SplitStrategy::Ratio { test_fraction } => {
+                split::ratio_split(times.len(), test_fraction, self.config.seed)?
+            }
+            SplitStrategy::TimePoint { train_fraction } => {
+                split::timepoint_split_fraction(&times, train_fraction)?
+            }
+        };
+        let trained = self.train_rows(&prepared, &the_split.train)?;
+        let mut report =
+            trained.evaluate_rows(&prepared, &the_split.test, &self.config.label())?;
+        report.timings.n_raw_records = prepared.n_raw_records;
+        report.timings.preprocess_secs = prepared.preprocess_secs;
+        report.timings.labeling_secs = prepared.labeling_secs;
+        report.timings.sampling_secs = prepared.sampling_secs;
+        report.timings.frame_bytes =
+            prepared.samples.flat.heap_bytes() + prepared.samples.seq.heap_bytes();
+        Ok(report)
+    }
+}
+
+/// A trained model plus everything needed to score new rows.
+pub struct TrainedMfpa {
+    model: Box<dyn Classifier>,
+    features: Vec<FeatureId>,
+    uses_seq: bool,
+    seq_len: usize,
+    threshold: f64,
+    train_secs: f64,
+    n_train_rows: usize,
+}
+
+impl std::fmt::Debug for TrainedMfpa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedMfpa")
+            .field("model", &self.model.name())
+            .field("n_features", &self.features.len())
+            .field("uses_seq", &self.uses_seq)
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+impl TrainedMfpa {
+    /// The underlying model's name.
+    pub fn model_name(&self) -> &'static str {
+        self.model.name()
+    }
+
+    /// The feature columns the model consumes, in canonical order.
+    pub fn features(&self) -> &[FeatureId] {
+        &self.features
+    }
+
+    /// Whether the model consumes sequence windows instead of flat rows.
+    pub fn uses_sequence(&self) -> bool {
+        self.uses_seq
+    }
+
+    /// Seconds spent fitting.
+    pub fn train_secs(&self) -> f64 {
+        self.train_secs
+    }
+
+    /// Training rows after under-sampling.
+    pub fn n_train_rows(&self) -> usize {
+        self.n_train_rows
+    }
+
+    /// Scores the given rows (probability of failure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors.
+    pub fn predict_rows(
+        &self,
+        prepared: &Prepared,
+        rows: &[usize],
+    ) -> Result<Vec<f64>, CoreError> {
+        let frame = if self.uses_seq { &prepared.samples.seq } else { &prepared.samples.flat };
+        let cols = col_indices(&self.features, self.uses_seq, self.seq_len);
+        let sub = frame.select_rows(rows).select_cols(&cols);
+        Ok(self.model.predict_proba(sub.matrix())?)
+    }
+
+    /// Scores a raw feature matrix whose columns are already the model's
+    /// selected features (used by the deployment-style examples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors.
+    pub fn predict_matrix(&self, x: &Matrix) -> Result<Vec<f64>, CoreError> {
+        Ok(self.model.predict_proba(x)?)
+    }
+
+    /// Evaluates the given rows at both sample and drive granularity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors.
+    pub fn evaluate_rows(
+        &self,
+        prepared: &Prepared,
+        rows: &[usize],
+        name: &str,
+    ) -> Result<EvalReport, CoreError> {
+        let t0 = Instant::now();
+        let probs = self.predict_rows(prepared, rows)?;
+        let predict_secs = t0.elapsed().as_secs_f64();
+
+        let frame = &prepared.samples.flat;
+        let labels: Vec<bool> = rows.iter().map(|&i| frame.labels()[i]).collect();
+        let preds: Vec<bool> = probs.iter().map(|&p| p >= self.threshold).collect();
+        let sample = MetricSet {
+            cm: ConfusionMatrix::from_labels(&labels, &preds),
+            auc: auc(&labels, &probs),
+        };
+
+        // Drive-level aggregation: a drive is flagged when any of its
+        // test rows crosses the threshold; it is truly faulty when any of
+        // its test rows is a positive sample.
+        let mut per_drive: HashMap<u64, (bool, f64)> = HashMap::new();
+        for ((&row, &label), &p) in rows.iter().zip(&labels).zip(&probs) {
+            let group = frame.meta()[row].group;
+            let entry = per_drive.entry(group).or_insert((false, 0.0));
+            entry.0 |= label;
+            entry.1 = entry.1.max(p);
+        }
+        // Labelled failures with no telemetry in their positive window are
+        // unpredictable by construction; when their label day falls inside
+        // the evaluation window they are drive-level misses (the paper's
+        // "faulty disks with no data around IMT − θ" TPR penalty).
+        let window = rows
+            .iter()
+            .map(|&r| frame.meta()[r].time)
+            .fold(None::<(i64, i64)>, |acc, t| match acc {
+                None => Some((t, t)),
+                Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
+            });
+        if let Some((lo, hi)) = window {
+            for &(group, label_day) in &prepared.samples.unwindowed_failures {
+                if label_day >= lo && label_day <= hi {
+                    per_drive.entry(group).or_insert((true, 0.0)).0 = true;
+                }
+            }
+        }
+        let drive_labels: Vec<bool> = per_drive.values().map(|&(l, _)| l).collect();
+        let drive_scores: Vec<f64> = per_drive.values().map(|&(_, s)| s).collect();
+        let drive_preds: Vec<bool> =
+            drive_scores.iter().map(|&s| s >= self.threshold).collect();
+        let drive = MetricSet {
+            cm: ConfusionMatrix::from_labels(&drive_labels, &drive_preds),
+            auc: auc(&drive_labels, &drive_scores),
+        };
+
+        Ok(EvalReport {
+            name: name.to_owned(),
+            sample,
+            drive,
+            n_test_drives: per_drive.len(),
+            n_failed_test_drives: drive_labels.iter().filter(|&&l| l).count(),
+            timings: StageTimings {
+                n_train_rows: self.n_train_rows,
+                train_secs: self.train_secs,
+                n_test_rows: rows.len(),
+                predict_secs,
+                ..Default::default()
+            },
+        })
+    }
+}
+
+/// Column indices of the selected features inside the flat or sequence
+/// frame.
+fn col_indices(features: &[FeatureId], uses_seq: bool, seq_len: usize) -> Vec<usize> {
+    let n_full = FeatureId::full_row().len();
+    let base: Vec<usize> = features.iter().map(FeatureId::full_index).collect();
+    if !uses_seq {
+        return base;
+    }
+    (0..seq_len)
+        .flat_map(|t| base.iter().map(move |&c| t * n_full + c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfpa_fleetsim::FleetConfig;
+
+    fn fleet() -> &'static SimulatedFleet {
+        static FLEET: std::sync::OnceLock<SimulatedFleet> = std::sync::OnceLock::new();
+        FLEET.get_or_init(|| SimulatedFleet::generate(&FleetConfig::tiny(11)))
+    }
+
+    #[test]
+    fn full_run_produces_sane_report() {
+        let cfg = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest);
+        let report = Mfpa::new(cfg).run(fleet()).unwrap();
+        assert!(report.drive.auc > 0.6, "drive AUC = {}", report.drive.auc);
+        assert!(report.n_test_drives > 0);
+        assert!(report.timings.n_train_rows > 0);
+        assert!(report.timings.n_test_rows > 0);
+    }
+
+    #[test]
+    fn prepare_exposes_counts() {
+        let cfg = MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes);
+        let prepared = Mfpa::new(cfg).prepare(fleet()).unwrap();
+        assert!(prepared.n_series() > 0);
+        assert!(prepared.n_rows() > prepared.n_series()); // multiple days per drive
+        assert!(!prepared.failure_days().is_empty());
+        assert!(prepared.n_raw_records() >= prepared.n_rows() / 2);
+    }
+
+    #[test]
+    fn vendor_restriction_filters_samples() {
+        let all = Mfpa::new(MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes))
+            .prepare(fleet())
+            .unwrap();
+        let only_ii = Mfpa::new(
+            MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes).with_vendor(Vendor::II),
+        )
+        .prepare(fleet())
+        .unwrap();
+        assert!(only_ii.n_rows() < all.n_rows());
+        assert!(only_ii
+            .samples()
+            .flat
+            .meta()
+            .iter()
+            .all(|m| m.tag == Vendor::II.index() as u32));
+    }
+
+    #[test]
+    fn feature_group_changes_model_width() {
+        let cfg = MfpaConfig::new(FeatureGroup::W, Algorithm::RandomForest);
+        let report = Mfpa::new(cfg).run(fleet()).unwrap();
+        assert!(report.sample.auc > 0.0);
+        // Custom columns override the group.
+        let custom = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest)
+            .with_custom_columns(FeatureGroup::S.features());
+        assert_eq!(custom.selected_features().len(), 16);
+        assert!(custom.label().contains("custom"));
+    }
+
+    #[test]
+    fn rows_in_window_filters_by_time() {
+        let cfg = MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes);
+        let prepared = Mfpa::new(cfg).prepare(fleet()).unwrap();
+        let rows = prepared.rows_in_window(0, 30);
+        assert!(!rows.is_empty());
+        assert!(rows
+            .iter()
+            .all(|&r| (0..30).contains(&prepared.samples().flat.meta()[r].time)));
+    }
+
+    #[test]
+    fn col_indices_for_sequences() {
+        let feats = FeatureGroup::S.features();
+        let flat = col_indices(&feats, false, 5);
+        assert_eq!(flat.len(), 16);
+        let seq = col_indices(&feats, true, 3);
+        assert_eq!(seq.len(), 48);
+        assert_eq!(seq[16], 45); // second step starts at the next block
+    }
+
+    #[test]
+    fn degenerate_training_window_is_reported() {
+        let cfg = MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes);
+        let mfpa = Mfpa::new(cfg);
+        let prepared = mfpa.prepare(fleet()).unwrap();
+        // Rows restricted to negatives only (healthy drives' early days).
+        let neg_rows: Vec<usize> = prepared
+            .samples()
+            .flat
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| !l)
+            .map(|(i, _)| i)
+            .take(50)
+            .collect();
+        let err = mfpa.train_rows(&prepared, &neg_rows).unwrap_err();
+        assert!(matches!(err, CoreError::DegenerateTrainingSet(_)));
+    }
+
+    #[test]
+    fn ratio_split_also_works() {
+        let cfg = MfpaConfig::new(FeatureGroup::Sf, Algorithm::Bayes)
+            .with_split(SplitStrategy::Ratio { test_fraction: 0.3 });
+        let report = Mfpa::new(cfg).run(fleet()).unwrap();
+        assert!(report.timings.n_test_rows > 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Optimisation of discontinuous data (§III-C(1)).
+//!
+//! Consumer telemetry is discontinuous (Fig 6). The paper's recipe:
+//! * accumulate daily W/B counts into cumulative features ("the daily
+//!   number of W and B is hard to detect trends"),
+//! * remove data separated by long intervals (≥ 10 days),
+//! * mean-fill short gaps (≤ 3 days) from the adjacent time windows.
+//!
+//! This module turns a raw [`DriveHistory`] into a [`CleanSeries`]: an
+//! aligned vector of days and full 45-column feature rows.
+
+use mfpa_telemetry::{DriveHistory, FirmwareVersion, SerialNumber, Vendor};
+use serde::{Deserialize, Serialize};
+
+use crate::features::{FeatureId, MODEL_W_EVENTS};
+
+/// Gap-handling configuration (§III-C(1) constants).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Gaps of at least this many days split the series; only the most
+    /// recent segment is kept (paper: "remove the data with a long
+    /// interval (≥ 10)").
+    pub drop_gap: i64,
+    /// Gaps of at most this many days are filled with the mean of the
+    /// adjacent records (paper: "fill the mean value of adjacent time
+    /// windows (= 3)").
+    pub fill_gap: i64,
+    /// Minimum surviving segment length; shorter series are unusable for
+    /// training and dropped entirely.
+    pub min_len: usize,
+    /// Accumulate daily W/B counts into cumulative features (the paper's
+    /// choice). `false` keeps the raw daily counts — the ablation knob.
+    pub cumulative_events: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig { drop_gap: 10, fill_gap: 3, min_len: 5, cumulative_events: true }
+    }
+}
+
+/// A preprocessed per-drive feature series: days ascending, one full
+/// 45-column row per day (observed or imputed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanSeries {
+    /// The drive's serial number.
+    pub serial: SerialNumber,
+    /// The drive's vendor.
+    pub vendor: Vendor,
+    /// Day stamps, strictly ascending.
+    pub days: Vec<i64>,
+    /// Feature rows aligned with `days` ([`FeatureId::full_row`] order).
+    pub rows: Vec<Vec<f64>>,
+    /// Whether each row was imputed by gap filling.
+    pub imputed: Vec<bool>,
+}
+
+impl CleanSeries {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Index of the latest row at or before `day`.
+    pub fn index_at_or_before(&self, day: i64) -> Option<usize> {
+        match self.days.binary_search(&day) {
+            Ok(ix) => Some(ix),
+            Err(0) => None,
+            Err(ix) => Some(ix - 1),
+        }
+    }
+}
+
+/// Builds the raw (pre-gap-handling) feature rows: SMART values, encoded
+/// firmware, and cumulative (or, for the ablation, daily) W/B counts per
+/// observed day.
+pub fn raw_rows(
+    history: &DriveHistory,
+    firmware: &FirmwareVersion,
+    cumulative_events: bool,
+) -> (Vec<i64>, Vec<Vec<f64>>) {
+    let n_cols = FeatureId::full_row().len();
+    let mut days = Vec::with_capacity(history.len());
+    let mut rows = Vec::with_capacity(history.len());
+    let mut w_cum = [0u64; 5];
+    let mut b_cum = [0u64; 23];
+    for rec in history.records() {
+        for (slot, ev) in w_cum.iter_mut().zip(MODEL_W_EVENTS) {
+            *slot += u64::from(rec.w(ev));
+        }
+        for (slot, code) in b_cum.iter_mut().zip(mfpa_telemetry::BsodCode::ALL) {
+            *slot += u64::from(rec.b(code));
+        }
+        let mut row = Vec::with_capacity(n_cols);
+        row.extend(rec.smart.as_slice());
+        row.push(firmware.encoded());
+        if cumulative_events {
+            row.extend(w_cum.iter().map(|&v| v as f64));
+            row.extend(b_cum.iter().map(|&v| v as f64));
+        } else {
+            row.extend(MODEL_W_EVENTS.iter().map(|&ev| f64::from(rec.w(ev))));
+            row.extend(mfpa_telemetry::BsodCode::ALL.iter().map(|&c| f64::from(rec.b(c))));
+        }
+        days.push(rec.day.day());
+        rows.push(row);
+    }
+    (days, rows)
+}
+
+/// Runs the full §III-C(1) preprocessing. Returns `None` if no usable
+/// segment survives.
+pub fn preprocess(
+    history: &DriveHistory,
+    firmware: &FirmwareVersion,
+    config: &PreprocessConfig,
+) -> Option<CleanSeries> {
+    if history.is_empty() {
+        return None;
+    }
+    let (days, rows) = raw_rows(history, firmware, config.cumulative_events);
+
+    // Split at long gaps; keep the most recent segment (it contains the
+    // failure for faulty drives and the freshest behaviour for healthy
+    // ones).
+    let mut seg_start = 0usize;
+    for i in 1..days.len() {
+        if days[i] - days[i - 1] >= config.drop_gap {
+            seg_start = i;
+        }
+    }
+    let days = &days[seg_start..];
+    let rows = &rows[seg_start..];
+    if days.len() < config.min_len {
+        return None;
+    }
+
+    // Mean-fill short gaps.
+    let mut out_days = Vec::with_capacity(days.len());
+    let mut out_rows: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    let mut out_imputed = Vec::with_capacity(days.len());
+    for i in 0..days.len() {
+        if i > 0 {
+            let gap = days[i] - days[i - 1];
+            if gap > 1 && gap <= config.fill_gap {
+                let prev = rows[i - 1].clone();
+                let next = &rows[i];
+                let mean: Vec<f64> =
+                    prev.iter().zip(next).map(|(a, b)| 0.5 * (a + b)).collect();
+                for missing in days[i - 1] + 1..days[i] {
+                    out_days.push(missing);
+                    out_rows.push(mean.clone());
+                    out_imputed.push(true);
+                }
+            }
+        }
+        out_days.push(days[i]);
+        out_rows.push(rows[i].clone());
+        out_imputed.push(false);
+    }
+
+    Some(CleanSeries {
+        serial: history.serial(),
+        vendor: history.serial().vendor(),
+        days: out_days,
+        rows: out_rows,
+        imputed: out_imputed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfpa_telemetry::{
+        DailyRecord, DayStamp, DriveModel, SmartAttr, SmartValues, WindowsEventId,
+    };
+
+    fn rec(day: i64, w161: u32, media: f64) -> DailyRecord {
+        let mut w = [0u32; 9];
+        w[WindowsEventId::W161.index()] = w161;
+        let mut smart = SmartValues::default();
+        smart.set(SmartAttr::MediaErrors, media);
+        DailyRecord {
+            day: DayStamp::new(day),
+            smart,
+            firmware: FirmwareVersion::new(Vendor::I, 2),
+            w_counts: w,
+            b_counts: [0; 23],
+        }
+    }
+
+    fn history(days_w: &[(i64, u32)]) -> DriveHistory {
+        DriveHistory::new(
+            SerialNumber::new(Vendor::I, 1),
+            DriveModel::ALL[0],
+            days_w.iter().map(|&(d, w)| rec(d, w, d as f64)).collect(),
+        )
+    }
+
+    fn fw() -> FirmwareVersion {
+        FirmwareVersion::new(Vendor::I, 2)
+    }
+
+    #[test]
+    fn w_counts_become_cumulative() {
+        let h = history(&[(0, 1), (1, 0), (2, 2)]);
+        let (_, rows) = raw_rows(&h, &fw(), true);
+        let w161_col = FeatureId::WinEventCum(WindowsEventId::W161).full_index();
+        let vals: Vec<f64> = rows.iter().map(|r| r[w161_col]).collect();
+        assert_eq!(vals, vec![1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn firmware_encoded_in_column_16() {
+        let h = history(&[(0, 0)]);
+        let (_, rows) = raw_rows(&h, &fw(), true);
+        assert_eq!(rows[0][FeatureId::Firmware.full_index()], 2.0);
+    }
+
+    #[test]
+    fn long_gap_keeps_most_recent_segment() {
+        // Days 0..=2, gap of 20, then 22..=28: keep the tail segment.
+        let days: Vec<(i64, u32)> = (0..3).chain(22..29).map(|d| (d, 0)).collect();
+        let s = preprocess(&history(&days), &fw(), &PreprocessConfig::default()).unwrap();
+        assert_eq!(s.days.first(), Some(&22));
+        assert_eq!(s.days.len(), 7);
+        assert!(s.imputed.iter().all(|&i| !i));
+    }
+
+    #[test]
+    fn short_survivor_is_dropped() {
+        let days: Vec<(i64, u32)> = [0, 1, 2, 3, 4, 30, 31].iter().map(|&d| (d, 0)).collect();
+        assert!(preprocess(&history(&days), &fw(), &PreprocessConfig::default()).is_none());
+    }
+
+    #[test]
+    fn small_gaps_are_mean_filled() {
+        // Days 0, 3: gap of 3 → days 1 and 2 imputed as the mean.
+        let days: Vec<(i64, u32)> = [0, 3, 4, 5, 6].iter().map(|&d| (d, 0)).collect();
+        let s = preprocess(&history(&days), &fw(), &PreprocessConfig::default()).unwrap();
+        assert_eq!(s.days, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(s.imputed, vec![false, true, true, false, false, false, false]);
+        // Media errors were set to the day number → imputed = mean(0, 3).
+        let media_col = FeatureId::Smart(SmartAttr::MediaErrors).full_index();
+        assert_eq!(s.rows[1][media_col], 1.5);
+        assert_eq!(s.rows[2][media_col], 1.5);
+    }
+
+    #[test]
+    fn medium_gaps_are_tolerated_unfilled() {
+        // Gap of 6: below drop threshold, above fill threshold.
+        let days: Vec<(i64, u32)> = [0, 1, 2, 8, 9, 10].iter().map(|&d| (d, 0)).collect();
+        let s = preprocess(&history(&days), &fw(), &PreprocessConfig::default()).unwrap();
+        assert_eq!(s.days, vec![0, 1, 2, 8, 9, 10]);
+    }
+
+    #[test]
+    fn empty_history_is_none() {
+        let h = DriveHistory::new(SerialNumber::new(Vendor::I, 1), DriveModel::ALL[0], vec![]);
+        assert!(preprocess(&h, &fw(), &PreprocessConfig::default()).is_none());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let days: Vec<(i64, u32)> = [5, 6, 7, 8, 9].iter().map(|&d| (d, 0)).collect();
+        let s = preprocess(&history(&days), &fw(), &PreprocessConfig::default()).unwrap();
+        assert_eq!(s.index_at_or_before(4), None);
+        assert_eq!(s.index_at_or_before(5), Some(0));
+        assert_eq!(s.index_at_or_before(100), Some(4));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn paper_fig6_f3_example_dropped() {
+        // F3 has logs at (0, 11-14): the 11-day gap splits it; the tail
+        // (11..=14) has 4 points < min_len → unusable, as in the paper.
+        let days: Vec<(i64, u32)> = [0, 11, 12, 13, 14].iter().map(|&d| (d, 0)).collect();
+        assert!(preprocess(&history(&days), &fw(), &PreprocessConfig::default()).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Cross-validation strategies (Fig 8(b) of the paper).
+//!
+//! Classic k-fold CV lets a fold train on data newer than its validation
+//! fold. The paper's time-series CV divides samples into `2k` chronological
+//! subsets; iteration `i` trains on the `k` consecutive subsets starting at
+//! `i` and validates on subset `i + k`, so the model is never trained on
+//! future samples.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::DatasetError;
+
+/// One cross-validation fold: training and validation row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Validation row indices.
+    pub validate: Vec<usize>,
+}
+
+/// Classic shuffled k-fold CV (Fig 8(b)(1)).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidParameter`] if `k < 2` or `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::cv::kfold;
+///
+/// let folds = kfold(10, 5, 42)?;
+/// assert_eq!(folds.len(), 5);
+/// assert!(folds.iter().all(|f| f.validate.len() == 2 && f.train.len() == 8));
+/// # Ok::<(), mfpa_dataset::DatasetError>(())
+/// ```
+pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>, DatasetError> {
+    if k < 2 || k > n {
+        return Err(DatasetError::InvalidParameter(format!(
+            "k must be in [2, n]; got k={k}, n={n}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for i in 0..k {
+        // Fold i validates on the i-th of k nearly-equal chunks.
+        let lo = i * n / k;
+        let hi = (i + 1) * n / k;
+        let validate = indices[lo..hi].to_vec();
+        let train: Vec<usize> =
+            indices[..lo].iter().chain(&indices[hi..]).copied().collect();
+        folds.push(Fold { train, validate });
+    }
+    Ok(folds)
+}
+
+/// The paper's time-series CV (Fig 8(b)(2)).
+///
+/// Rows are ordered by `times` and divided into `2k` chronological subsets
+/// (labelled `1 … 2k`). Iteration `i ∈ 0..k` trains on subsets
+/// `i+1 … i+k` and validates on subset `i+k+1`, so training data always
+/// precedes validation data.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidParameter`] if `k < 1` or there are fewer
+/// than `2k` samples, and [`DatasetError::Empty`] for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::cv::time_series_cv;
+///
+/// let times: Vec<i64> = (0..20).collect();
+/// let folds = time_series_cv(&times, 2)?;
+/// assert_eq!(folds.len(), 2);
+/// // Every training sample precedes every validation sample.
+/// for f in &folds {
+///     let max_train = f.train.iter().map(|&i| times[i]).max().unwrap();
+///     let min_val = f.validate.iter().map(|&i| times[i]).min().unwrap();
+///     assert!(max_train <= min_val);
+/// }
+/// # Ok::<(), mfpa_dataset::DatasetError>(())
+/// ```
+pub fn time_series_cv(times: &[i64], k: usize) -> Result<Vec<Fold>, DatasetError> {
+    if times.is_empty() {
+        return Err(DatasetError::Empty);
+    }
+    if k < 1 {
+        return Err(DatasetError::InvalidParameter("k must be >= 1".into()));
+    }
+    let n = times.len();
+    let subsets = 2 * k;
+    if n < subsets {
+        return Err(DatasetError::InvalidParameter(format!(
+            "need at least 2k = {subsets} samples for time-series CV, got {n}"
+        )));
+    }
+    // Chronological order; stable tie-break on original index keeps the
+    // construction deterministic.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (times[i], i));
+    // Chunk boundaries of the 2k nearly-equal subsets.
+    let bounds: Vec<usize> = (0..=subsets).map(|j| j * n / subsets).collect();
+    let subset = |j: usize| -> &[usize] { &order[bounds[j]..bounds[j + 1]] };
+
+    let mut folds = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut train = Vec::new();
+        for j in i..i + k {
+            train.extend_from_slice(subset(j));
+        }
+        let validate = subset(i + k).to_vec();
+        folds.push(Fold { train, validate });
+    }
+    Ok(folds)
+}
+
+/// Checks that every fold trains strictly on data no newer than its
+/// validation data (the property time-series CV guarantees).
+pub fn folds_chronologically_sound(folds: &[Fold], times: &[i64]) -> bool {
+    folds.iter().all(|f| {
+        let max_train = f.train.iter().map(|&i| times[i]).max();
+        let min_val = f.validate.iter().map(|&i| times[i]).min();
+        match (max_train, min_val) {
+            (Some(a), Some(b)) => a <= b,
+            _ => true,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfold_partitions_validation_sets() {
+        let folds = kfold(23, 4, 9).unwrap();
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.validate.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.validate.len(), 23);
+        }
+    }
+
+    #[test]
+    fn kfold_validates_params() {
+        assert!(kfold(5, 1, 0).is_err());
+        assert!(kfold(3, 4, 0).is_err());
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        assert_eq!(kfold(10, 2, 5).unwrap(), kfold(10, 2, 5).unwrap());
+    }
+
+    #[test]
+    fn ts_cv_produces_k_folds_over_2k_subsets() {
+        let times: Vec<i64> = (0..40).rev().collect(); // unsorted input
+        let folds = time_series_cv(&times, 3).unwrap();
+        assert_eq!(folds.len(), 3);
+        assert!(folds_chronologically_sound(&folds, &times));
+        // Each training set spans k subsets ≈ half the data.
+        for f in &folds {
+            assert!(f.train.len() >= 18 && f.train.len() <= 21, "{}", f.train.len());
+            assert!(!f.validate.is_empty());
+        }
+    }
+
+    #[test]
+    fn ts_cv_handles_duplicate_times() {
+        let times = vec![5; 16];
+        let folds = time_series_cv(&times, 2).unwrap();
+        assert!(folds_chronologically_sound(&folds, &times));
+    }
+
+    #[test]
+    fn ts_cv_validates_params() {
+        assert!(time_series_cv(&[], 2).is_err());
+        assert!(time_series_cv(&[1, 2, 3], 2).is_err());
+    }
+
+    #[test]
+    fn plain_kfold_violates_chronology() {
+        let times: Vec<i64> = (0..30).collect();
+        let folds = kfold(30, 3, 1).unwrap();
+        assert!(!folds_chronologically_sound(&folds, &times));
+    }
+}

@@ -1,0 +1,123 @@
+//! Label encoding for categorical features.
+//!
+//! §III-C(1): "Label encoding technology is adopted to handle the firmware
+//! version that is a character variable." [`LabelEncoder`] maps arbitrary
+//! hashable categories to dense integer codes in first-seen order.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Maps categorical values to dense integer codes.
+///
+/// Codes are assigned in first-seen order during [`LabelEncoder::fit`] /
+/// [`LabelEncoder::fit_transform`]; unseen categories transform to `None`.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::LabelEncoder;
+///
+/// let mut enc = LabelEncoder::new();
+/// let codes = enc.fit_transform(["B1TQ", "A2TQ", "B1TQ"].into_iter());
+/// assert_eq!(codes, vec![0, 1, 0]);
+/// assert_eq!(enc.transform(&"A2TQ"), Some(1));
+/// assert_eq!(enc.transform(&"ZZZZ"), None);
+/// assert_eq!(enc.inverse(1), Some(&"A2TQ"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LabelEncoder<T: Eq + Hash + Clone> {
+    forward: HashMap<T, usize>,
+    reverse: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> LabelEncoder<T> {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        LabelEncoder { forward: HashMap::new(), reverse: Vec::new() }
+    }
+
+    /// Number of distinct categories seen so far.
+    pub fn n_categories(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Registers a category (if new) and returns its code.
+    pub fn fit_one(&mut self, value: T) -> usize {
+        if let Some(&code) = self.forward.get(&value) {
+            return code;
+        }
+        let code = self.reverse.len();
+        self.forward.insert(value.clone(), code);
+        self.reverse.push(value);
+        code
+    }
+
+    /// Registers every category in the iterator.
+    pub fn fit<I: IntoIterator<Item = T>>(&mut self, values: I) {
+        for v in values {
+            self.fit_one(v);
+        }
+    }
+
+    /// Registers and encodes in one pass.
+    pub fn fit_transform<I: IntoIterator<Item = T>>(&mut self, values: I) -> Vec<usize> {
+        values.into_iter().map(|v| self.fit_one(v)).collect()
+    }
+
+    /// The code of a previously-seen category, or `None`.
+    pub fn transform(&self, value: &T) -> Option<usize> {
+        self.forward.get(value).copied()
+    }
+
+    /// The category behind a code, or `None`.
+    pub fn inverse(&self, code: usize) -> Option<&T> {
+        self.reverse.get(code)
+    }
+
+    /// All categories in code order.
+    pub fn categories(&self) -> &[T] {
+        &self.reverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_seen_order() {
+        let mut e = LabelEncoder::new();
+        e.fit(vec!["c", "a", "b", "a"]);
+        assert_eq!(e.n_categories(), 3);
+        assert_eq!(e.transform(&"c"), Some(0));
+        assert_eq!(e.transform(&"a"), Some(1));
+        assert_eq!(e.transform(&"b"), Some(2));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut e = LabelEncoder::new();
+        let codes = e.fit_transform(vec![10u32, 20, 10, 30]);
+        assert_eq!(codes, vec![0, 1, 0, 2]);
+        for (v, c) in [(10u32, 0usize), (20, 1), (30, 2)] {
+            assert_eq!(e.transform(&v), Some(c));
+            assert_eq!(e.inverse(c), Some(&v));
+        }
+        assert_eq!(e.inverse(3), None);
+    }
+
+    #[test]
+    fn unseen_is_none() {
+        let e: LabelEncoder<&str> = LabelEncoder::new();
+        assert_eq!(e.transform(&"x"), None);
+        assert_eq!(e.n_categories(), 0);
+    }
+
+    #[test]
+    fn categories_in_code_order() {
+        let mut e = LabelEncoder::new();
+        e.fit(vec!["z", "y"]);
+        assert_eq!(e.categories(), &["z", "y"]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for dataset operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by dataset construction and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A row had a different width than the frame/matrix expects.
+    DimensionMismatch {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of columns actually provided.
+        actual: usize,
+    },
+    /// An operation that needs at least one row/sample got none.
+    Empty,
+    /// An index referred to a row or column that does not exist.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected} columns, got {actual}")
+            }
+            DatasetError::Empty => f.write_str("operation requires a non-empty dataset"),
+            DatasetError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            DatasetError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DatasetError::DimensionMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(DatasetError::Empty.to_string().contains("non-empty"));
+        let e = DatasetError::IndexOutOfBounds { index: 9, len: 4 };
+        assert!(e.to_string().contains("9"));
+        let e = DatasetError::InvalidParameter("k must be > 0".into());
+        assert!(e.to_string().contains("k must be"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DatasetError>();
+    }
+}

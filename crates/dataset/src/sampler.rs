@@ -1,0 +1,150 @@
+//! Class balancing by random under-sampling (§III-C(3)).
+//!
+//! The SSD health dataset is extremely imbalanced (replacement rates are
+//! well below 1%). The paper keeps all positive samples and randomly
+//! under-samples the majority (healthy) class to a configured
+//! negative:positive ratio such as 3:1 or 5:1.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::DatasetError;
+
+/// Random under-sampler: keeps every minority (positive) sample and a
+/// random subset of majority (negative) samples at `ratio` negatives per
+/// positive.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::RandomUnderSampler;
+///
+/// let labels = [true, false, false, false, false, false, true];
+/// let sampler = RandomUnderSampler::new(2.0, 7)?;
+/// let kept = sampler.sample(&labels);
+/// let pos = kept.iter().filter(|&&i| labels[i]).count();
+/// let neg = kept.len() - pos;
+/// assert_eq!(pos, 2);
+/// assert_eq!(neg, 4);
+/// # Ok::<(), mfpa_dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomUnderSampler {
+    ratio: f64,
+    seed: u64,
+}
+
+impl RandomUnderSampler {
+    /// Creates a sampler with `ratio` negatives kept per positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidParameter`] if `ratio` is not a
+    /// positive finite number.
+    pub fn new(ratio: f64, seed: u64) -> Result<Self, DatasetError> {
+        if !(ratio.is_finite() && ratio > 0.0) {
+            return Err(DatasetError::InvalidParameter(format!(
+                "ratio must be positive and finite, got {ratio}"
+            )));
+        }
+        Ok(RandomUnderSampler { ratio, seed })
+    }
+
+    /// The configured negative:positive ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Returns the kept row indices, sorted ascending: all positives plus
+    /// `round(ratio × positives)` random negatives (all negatives if there
+    /// are fewer).
+    ///
+    /// With zero positives, all negatives are kept (nothing to balance
+    /// against).
+    pub fn sample(&self, labels: &[bool]) -> Vec<usize> {
+        let positives: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| l).map(|(i, _)| i).collect();
+        let mut negatives: Vec<usize> =
+            labels.iter().enumerate().filter(|(_, &l)| !l).map(|(i, _)| i).collect();
+        if positives.is_empty() {
+            return negatives;
+        }
+        let want = ((positives.len() as f64) * self.ratio).round() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        negatives.shuffle(&mut rng);
+        negatives.truncate(want);
+        let mut kept = positives;
+        kept.extend(negatives);
+        kept.sort_unstable();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(pos: usize, neg: usize) -> Vec<bool> {
+        let mut l = vec![true; pos];
+        l.extend(vec![false; neg]);
+        l
+    }
+
+    #[test]
+    fn keeps_all_positives() {
+        let l = labels(10, 1000);
+        let kept = RandomUnderSampler::new(3.0, 1).unwrap().sample(&l);
+        let pos = kept.iter().filter(|&&i| l[i]).count();
+        assert_eq!(pos, 10);
+        assert_eq!(kept.len(), 40);
+    }
+
+    #[test]
+    fn five_to_one_ratio() {
+        let l = labels(20, 1000);
+        let kept = RandomUnderSampler::new(5.0, 2).unwrap().sample(&l);
+        assert_eq!(kept.len(), 120);
+    }
+
+    #[test]
+    fn caps_at_available_negatives() {
+        let l = labels(10, 5);
+        let kept = RandomUnderSampler::new(3.0, 3).unwrap().sample(&l);
+        assert_eq!(kept.len(), 15);
+    }
+
+    #[test]
+    fn no_positives_keeps_everything_negative() {
+        let l = labels(0, 8);
+        let kept = RandomUnderSampler::new(3.0, 0).unwrap().sample(&l);
+        assert_eq!(kept.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = labels(5, 100);
+        let s = RandomUnderSampler::new(2.0, 9).unwrap();
+        assert_eq!(s.sample(&l), s.sample(&l));
+        let other = RandomUnderSampler::new(2.0, 10).unwrap();
+        assert_ne!(s.sample(&l), other.sample(&l));
+    }
+
+    #[test]
+    fn output_sorted_unique() {
+        let l = labels(5, 50);
+        let kept = RandomUnderSampler::new(4.0, 11).unwrap().sample(&l);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(kept, sorted);
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        assert!(RandomUnderSampler::new(0.0, 0).is_err());
+        assert!(RandomUnderSampler::new(-1.0, 0).is_err());
+        assert!(RandomUnderSampler::new(f64::NAN, 0).is_err());
+        assert!(RandomUnderSampler::new(f64::INFINITY, 0).is_err());
+    }
+}

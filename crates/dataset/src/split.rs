@@ -1,0 +1,194 @@
+//! Train/test segmentation strategies (Fig 8(a) of the paper).
+//!
+//! The naive approach divides samples randomly in an `m:n` proportion,
+//! which lets the training set contain *future* data relative to the test
+//! set. The paper's timepoint-based segmentation instead picks a boundary
+//! inside the observation window: everything in the learning window (LW)
+//! trains, everything after it tests.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::DatasetError;
+
+/// Indices of a train/test split.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Split {
+    /// Row indices of the training set.
+    pub train: Vec<usize>,
+    /// Row indices of the test set.
+    pub test: Vec<usize>,
+}
+
+/// Randomly splits `n` samples with the given test fraction (the naive
+/// `m:n` segmentation of Fig 8(a)(1)).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidParameter`] unless
+/// `0.0 < test_fraction < 1.0`, and [`DatasetError::Empty`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::split::ratio_split;
+///
+/// let s = ratio_split(10, 0.3, 42)?;
+/// assert_eq!(s.test.len(), 3);
+/// assert_eq!(s.train.len() + s.test.len(), 10);
+/// # Ok::<(), mfpa_dataset::DatasetError>(())
+/// ```
+pub fn ratio_split(n: usize, test_fraction: f64, seed: u64) -> Result<Split, DatasetError> {
+    if n == 0 {
+        return Err(DatasetError::Empty);
+    }
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(DatasetError::InvalidParameter(format!(
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_fraction).round().clamp(1.0, (n - 1) as f64) as usize;
+    let test = indices[..n_test].to_vec();
+    let train = indices[n_test..].to_vec();
+    Ok(Split { train, test })
+}
+
+/// Timepoint-based segmentation (Fig 8(a)(2)): samples with
+/// `time <= boundary` form the training set (the learning window LW), the
+/// rest form the test set.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::split::timepoint_split;
+///
+/// let times = [1, 5, 3, 9, 7];
+/// let s = timepoint_split(&times, 5);
+/// assert_eq!(s.train, vec![0, 1, 2]);
+/// assert_eq!(s.test, vec![3, 4]);
+/// ```
+pub fn timepoint_split(times: &[i64], boundary: i64) -> Split {
+    let mut split = Split::default();
+    for (ix, &t) in times.iter().enumerate() {
+        if t <= boundary {
+            split.train.push(ix);
+        } else {
+            split.test.push(ix);
+        }
+    }
+    split
+}
+
+/// Timepoint segmentation where the boundary is chosen as the
+/// `train_fraction` quantile of the observed times, so roughly that share
+/// of samples lands in the learning window.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Empty`] for an empty slice and
+/// [`DatasetError::InvalidParameter`] unless `0.0 < train_fraction < 1.0`.
+pub fn timepoint_split_fraction(
+    times: &[i64],
+    train_fraction: f64,
+) -> Result<Split, DatasetError> {
+    if times.is_empty() {
+        return Err(DatasetError::Empty);
+    }
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DatasetError::InvalidParameter(format!(
+            "train_fraction must be in (0, 1), got {train_fraction}"
+        )));
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let ix = (((sorted.len() - 1) as f64) * train_fraction).round() as usize;
+    let boundary = sorted[ix];
+    Ok(timepoint_split(times, boundary))
+}
+
+/// Checks the time-ordering invariant the paper's segmentation guarantees:
+/// no training sample is newer than any test sample.
+///
+/// Useful in tests and assertions; the naive [`ratio_split`] generally
+/// violates it.
+pub fn is_chronologically_sound(split: &Split, times: &[i64]) -> bool {
+    let max_train = split.train.iter().map(|&i| times[i]).max();
+    let min_test = split.test.iter().map(|&i| times[i]).min();
+    match (max_train, min_test) {
+        (Some(a), Some(b)) => a <= b,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_split_is_deterministic_per_seed() {
+        let a = ratio_split(100, 0.1, 7).unwrap();
+        let b = ratio_split(100, 0.1, 7).unwrap();
+        assert_eq!(a, b);
+        let c = ratio_split(100, 0.1, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ratio_split_partitions() {
+        let s = ratio_split(50, 0.2, 1).unwrap();
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+        assert_eq!(s.test.len(), 10);
+    }
+
+    #[test]
+    fn ratio_split_validates() {
+        assert!(ratio_split(0, 0.5, 0).is_err());
+        assert!(ratio_split(10, 0.0, 0).is_err());
+        assert!(ratio_split(10, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn ratio_split_never_empties_either_side() {
+        let s = ratio_split(2, 0.01, 0).unwrap();
+        assert_eq!(s.test.len(), 1);
+        assert_eq!(s.train.len(), 1);
+        let s = ratio_split(2, 0.99, 0).unwrap();
+        assert_eq!(s.test.len(), 1);
+    }
+
+    #[test]
+    fn timepoint_split_respects_boundary() {
+        let times = [10, 20, 30, 40];
+        let s = timepoint_split(&times, 25);
+        assert_eq!(s.train, vec![0, 1]);
+        assert_eq!(s.test, vec![2, 3]);
+        assert!(is_chronologically_sound(&s, &times));
+    }
+
+    #[test]
+    fn timepoint_fraction_hits_requested_share() {
+        let times: Vec<i64> = (0..100).collect();
+        let s = timepoint_split_fraction(&times, 0.8).unwrap();
+        assert!((s.train.len() as i64 - 80).abs() <= 1, "train = {}", s.train.len());
+        assert!(is_chronologically_sound(&s, &times));
+    }
+
+    #[test]
+    fn naive_split_usually_violates_chronology() {
+        let times: Vec<i64> = (0..100).collect();
+        let s = ratio_split(100, 0.3, 3).unwrap();
+        assert!(!is_chronologically_sound(&s, &times));
+    }
+
+    #[test]
+    fn soundness_with_empty_sides() {
+        let s = Split { train: vec![0], test: vec![] };
+        assert!(is_chronologically_sound(&s, &[5]));
+    }
+}

@@ -1,0 +1,118 @@
+//! Small numeric helpers shared by samplers, scalers and the fleet
+//! simulator's calibration code.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(mfpa_dataset::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(mfpa_dataset::stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than two.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`); `None` for an empty
+/// slice or out-of-range `q`.
+///
+/// # Example
+///
+/// ```
+/// let v = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(mfpa_dataset::stats::quantile(&v, 0.5), Some(2.5));
+/// assert_eq!(mfpa_dataset::stats::quantile(&v, 0.0), Some(1.0));
+/// assert_eq!(mfpa_dataset::stats::quantile(&v, 1.0), Some(4.0));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Builds an equal-width histogram of `values` over `[lo, hi)` with
+/// `bins` buckets; values outside the range are clamped into the edge
+/// buckets. Returns per-bucket counts.
+///
+/// Used by the figure-reproduction binaries (e.g. Fig 2's bathtub
+/// histogram).
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0u64; bins];
+    for &v in values {
+        let ix = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[ix] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert_eq!(variance(&v), 4.0);
+        assert_eq!(std_dev(&v), 2.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [10.0, 20.0];
+        assert_eq!(quantile(&v, 0.25), Some(12.5));
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let counts = histogram(&[-5.0, 0.5, 1.5, 99.0], 0.0, 2.0, 2);
+        assert_eq!(counts, vec![2, 2]);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Fleet-generation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Length of the paper's study, used to convert Table VI replacement
+/// rates (measured over "nearly two years") into per-campaign failure
+/// probabilities.
+pub const STUDY_DAYS: f64 = 730.0;
+
+/// Configuration of one synthetic fleet.
+///
+/// The default configuration (`FleetConfig::new(seed)`) is the scale used
+/// by the experiment harness: 8% of the paper's populations with a 12×
+/// hazard boost, which preserves the vendors' replacement-rate *ratios*
+/// while producing enough failures (≈750) to train per-vendor models.
+/// Both knobs are printed in every experiment header.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_fleetsim::FleetConfig;
+///
+/// let cfg = FleetConfig::new(7).with_horizon_days(120).with_drift_per_month(0.2);
+/// assert_eq!(cfg.horizon_days, 120);
+/// assert_eq!(cfg.seed, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Master RNG seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Observation-campaign length in days.
+    pub horizon_days: i64,
+    /// Fraction of each vendor's Table VI population to instantiate.
+    pub population_fraction: f64,
+    /// Multiplier on every drive's hazard, so scaled-down fleets still
+    /// produce enough positives (documented substitution).
+    pub hazard_boost: f64,
+    /// Healthy drives given full telemetry per failed drive.
+    pub healthy_per_failure: f64,
+    /// Month-over-month relative drift of healthy baseline rates
+    /// (0 disables; ≈0.15 reproduces Fig 12/16's FPR creep).
+    pub drift_per_month: f64,
+    /// Mean days between a failure and the user seeking repair.
+    pub mean_repair_delay: f64,
+    /// Fraction of system-level failures whose SMART trace stays quiet
+    /// (only W/B precursors fire) — the mechanism behind SFWB > SF.
+    pub smart_silent_fraction: f64,
+    /// Fraction of drive-level failures whose SMART trace stays quiet
+    /// (abrupt controller death without a media-error ramp).
+    pub smart_silent_drive_fraction: f64,
+    /// Fraction of drive-level failures that are *sudden* (controller
+    /// death with almost no W/B precursors) — keeps the W-only and
+    /// B-only groups below SFWB, as in Fig 9.
+    pub sudden_drive_fraction: f64,
+    /// Fraction of system-level failures that are sudden. Combined with
+    /// SMART silence this yields the small truly-unpredictable residue.
+    pub sudden_system_fraction: f64,
+    /// Fraction of healthy drives with benign SMART anomalies (aging but
+    /// not failing) — the mechanism behind the SMART model's high FPR.
+    pub noisy_smart_fraction: f64,
+    /// Fraction of healthy machines with flaky software stacks that emit
+    /// elevated W/B noise unrelated to the disk.
+    pub noisy_os_fraction: f64,
+}
+
+impl FleetConfig {
+    /// The experiment-scale configuration (see type docs).
+    pub fn new(seed: u64) -> Self {
+        FleetConfig {
+            seed,
+            horizon_days: 180,
+            population_fraction: 0.08,
+            hazard_boost: 12.0,
+            healthy_per_failure: 5.0,
+            drift_per_month: 0.0,
+            mean_repair_delay: 4.0,
+            smart_silent_fraction: 0.055,
+            smart_silent_drive_fraction: 0.03,
+            sudden_drive_fraction: 0.35,
+            sudden_system_fraction: 0.10,
+            noisy_smart_fraction: 0.05,
+            noisy_os_fraction: 0.04,
+        }
+    }
+
+    /// A unit-test-scale configuration: ~4.7k drives, ≈60–100 failures,
+    /// generates in well under a second.
+    pub fn tiny(seed: u64) -> Self {
+        FleetConfig {
+            population_fraction: 0.002,
+            hazard_boost: 120.0,
+            horizon_days: 120,
+            ..FleetConfig::new(seed)
+        }
+    }
+
+    /// Sets the observation horizon.
+    pub fn with_horizon_days(mut self, days: i64) -> Self {
+        self.horizon_days = days.max(30);
+        self
+    }
+
+    /// Sets the population fraction.
+    pub fn with_population_fraction(mut self, fraction: f64) -> Self {
+        self.population_fraction = fraction.clamp(1e-5, 1.0);
+        self
+    }
+
+    /// Sets the hazard boost.
+    pub fn with_hazard_boost(mut self, boost: f64) -> Self {
+        self.hazard_boost = boost.max(0.0);
+        self
+    }
+
+    /// Sets the healthy-telemetry ratio.
+    pub fn with_healthy_per_failure(mut self, ratio: f64) -> Self {
+        self.healthy_per_failure = ratio.max(0.0);
+        self
+    }
+
+    /// Sets the monthly drift rate.
+    pub fn with_drift_per_month(mut self, rate: f64) -> Self {
+        self.drift_per_month = rate.max(0.0);
+        self
+    }
+
+    /// Sets the mean repair delay in days.
+    pub fn with_mean_repair_delay(mut self, days: f64) -> Self {
+        self.mean_repair_delay = days.max(0.0);
+        self
+    }
+
+    /// In-campaign failure probability targeted for a drive of a vendor
+    /// with the given Table VI replacement rate.
+    pub fn campaign_failure_probability(&self, paper_replacement_rate: f64) -> f64 {
+        (paper_replacement_rate * (self.horizon_days as f64 / STUDY_DAYS) * self.hazard_boost)
+            .min(0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FleetConfig::new(1);
+        assert!(c.population_fraction > 0.0 && c.population_fraction <= 1.0);
+        assert!(c.hazard_boost >= 1.0);
+        assert!(c.horizon_days >= 30);
+    }
+
+    #[test]
+    fn builder_clamps() {
+        let c = FleetConfig::new(1)
+            .with_horizon_days(1)
+            .with_population_fraction(5.0)
+            .with_hazard_boost(-1.0);
+        assert_eq!(c.horizon_days, 30);
+        assert_eq!(c.population_fraction, 1.0);
+        assert_eq!(c.hazard_boost, 0.0);
+    }
+
+    #[test]
+    fn campaign_probability_scales_linearly() {
+        let c = FleetConfig::new(0).with_hazard_boost(1.0).with_horizon_days(365);
+        let p = c.campaign_failure_probability(0.0068);
+        assert!((p - 0.0068 * 0.5).abs() < 1e-4);
+        let boosted = c.with_hazard_boost(10.0).campaign_failure_probability(0.0068);
+        assert!((boosted / p - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn campaign_probability_capped() {
+        let c = FleetConfig::new(0).with_hazard_boost(1e9);
+        assert_eq!(c.campaign_failure_probability(0.01), 0.9);
+    }
+
+    #[test]
+    fn tiny_is_fast_scale() {
+        let t = FleetConfig::tiny(3);
+        assert!(t.population_fraction < 0.01);
+        assert!(t.hazard_boost > FleetConfig::new(3).hazard_boost);
+    }
+}

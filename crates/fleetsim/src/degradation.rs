@@ -1,0 +1,314 @@
+//! SMART degradation trajectories for healthy and failing drives.
+//!
+//! Drive-level failures (Table I, 31.62%) degrade SMART hard: media
+//! errors ramp, spare capacity collapses, the critical-warning bit trips.
+//! System-level failures (68.38%) may keep SMART largely quiet — a
+//! configurable fraction is "SMART-silent" — which is precisely why the
+//! paper's W/B features add TPR over the SMART-only model. A small
+//! fraction of *healthy* drives exhibits benign SMART anomalies (ageing
+//! media-error blips), which is what drives the SMART-only model's FPR.
+
+use mfpa_telemetry::{FailureLevel, SmartAttr, SmartValues};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand_distr::{Distribution, Normal, Poisson};
+
+use crate::usage::UsageProfile;
+
+/// Days before failure at which degradation signals start ramping.
+pub const RAMP_DAYS: f64 = 14.0;
+
+/// The failure plan attached to a drive destined to fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePlan {
+    /// Campaign day on which the drive dies.
+    pub day: i64,
+    /// Drive-level or system-level manifestation.
+    pub level: FailureLevel,
+    /// Whether SMART stays quiet (only W/B precursors fire).
+    pub smart_silent: bool,
+    /// Scale on the W/B pre-failure storm: 1.0 for ordinary failures,
+    /// ≈0.05 for sudden deaths (controller drops dead without OS-visible
+    /// precursors). A failure that is both SMART-silent and sudden is
+    /// unpredictable by any feature set — the source of MFPA's residual
+    /// ~2% misses.
+    pub precursor_scale: f64,
+    /// Whether the failure is thermally driven (Table I overtemperature).
+    pub overtemp: bool,
+}
+
+/// Stateful generator of one drive's SMART values over its observed days.
+///
+/// Call [`SmartTrajectory::record_for`] once per observed day, in
+/// chronological order; cumulative counters advance one active day per
+/// call.
+#[derive(Debug, Clone)]
+pub struct SmartTrajectory {
+    capacity_gb: u32,
+    hours_per_day: f64,
+    write_units_per_day: f64,
+    read_factor: f64,
+    endurance_units: f64,
+    noisy_smart: bool,
+    plan: Option<FailurePlan>,
+    // Cumulative state.
+    poh: f64,
+    cycles: f64,
+    written: f64,
+    read: f64,
+    write_cmds: f64,
+    read_cmds: f64,
+    busy_minutes: f64,
+    unsafe_shutdowns: f64,
+    media_errors: f64,
+    err_log: f64,
+    spare: f64,
+}
+
+impl SmartTrajectory {
+    /// Creates a trajectory for a drive that is `age0` days old at
+    /// campaign start. `noisy_smart` marks the benign-anomaly healthy
+    /// subpopulation; `plan` is `Some` for drives destined to fail.
+    pub fn new(
+        profile: &UsageProfile,
+        capacity_gb: u32,
+        age0: f64,
+        noisy_smart: bool,
+        plan: Option<FailurePlan>,
+        rng: &mut StdRng,
+    ) -> Self {
+        let write_units_per_day = rng.random_range(8.0..40.0);
+        let active_days_before = age0 * profile.daily_on_prob;
+        let written0 = active_days_before * write_units_per_day;
+        let read_factor = rng.random_range(1.1..1.8);
+        SmartTrajectory {
+            capacity_gb,
+            hours_per_day: profile.hours_per_day,
+            write_units_per_day,
+            read_factor,
+            // Scale so heavy writers on small drives approach high wear
+            // within a couple of years.
+            endurance_units: capacity_gb as f64 * 60.0,
+            noisy_smart,
+            plan,
+            poh: active_days_before * profile.hours_per_day,
+            cycles: active_days_before * 1.4,
+            written: written0,
+            read: written0 * read_factor,
+            write_cmds: written0 * 2_000.0,
+            read_cmds: written0 * read_factor * 2_400.0,
+            busy_minutes: active_days_before * profile.hours_per_day * 1.1,
+            unsafe_shutdowns: (active_days_before * 0.02).floor(),
+            media_errors: 0.0,
+            err_log: (active_days_before * 0.01).floor(),
+            spare: 100.0,
+        }
+    }
+
+    /// Days until the planned failure as of `day` (`None` for healthy).
+    fn days_to_failure(&self, day: i64) -> Option<f64> {
+        self.plan.map(|p| (p.day - day) as f64)
+    }
+
+    /// Advances one active day and returns the SMART snapshot for `day`.
+    /// `drift` scales benign anomaly rates (Fig 12/16 covariate drift).
+    pub fn record_for(&mut self, day: i64, drift: f64, rng: &mut StdRng) -> SmartValues {
+        // --- workload counters -------------------------------------------------
+        let daily_write =
+            (self.write_units_per_day * rng.random_range(0.5..1.5)).max(0.0);
+        let daily_read = daily_write * self.read_factor;
+        self.poh += self.hours_per_day * rng.random_range(0.6..1.4);
+        self.cycles += rng.random_range(1.0..2.2f64).round();
+        self.written += daily_write;
+        self.read += daily_read;
+        self.write_cmds += daily_write * 2_000.0 * rng.random_range(0.8..1.2);
+        self.read_cmds += daily_read * 2_400.0 * rng.random_range(0.8..1.2);
+        self.busy_minutes += self.hours_per_day * rng.random_range(0.8..1.4);
+
+        let dtf = self.days_to_failure(day);
+        // Post-failure (zombie-reporter) days stay at the peak ramp.
+        let ramp = match dtf {
+            Some(d) if d <= RAMP_DAYS => ((RAMP_DAYS - d.max(0.0)) / 3.5).exp(),
+            _ => 0.0,
+        };
+        let (level, silent, overtemp) = match self.plan {
+            Some(p) => (Some(p.level), p.smart_silent, p.overtemp),
+            None => (None, false, false),
+        };
+
+        // --- error counters ----------------------------------------------------
+        let media_rate = match (level, silent) {
+            (Some(_), true) | (None, _) => 0.0,
+            (Some(FailureLevel::Drive), false) => 0.5 * ramp,
+            (Some(FailureLevel::System), false) => 0.12 * ramp,
+        } + if self.noisy_smart { 0.08 * drift } else { 0.002 * drift };
+        self.media_errors += poisson(media_rate, rng);
+
+        let unsafe_rate = match (level, silent) {
+            (Some(_), false) => 0.35 * (ramp / (1.0 + ramp)).min(1.0) * 4.0,
+            // SMART-silent failures by definition leave no SMART trace
+            // beyond the healthy baseline.
+            (Some(_), true) | (None, _) => 0.0,
+        } + 0.02 * drift;
+        self.unsafe_shutdowns += poisson(unsafe_rate, rng);
+
+        self.err_log += self.media_errors * 0.02 + poisson(0.01 * drift, rng);
+
+        // --- spare capacity ----------------------------------------------------
+        let wear = (self.written / self.endurance_units * 100.0).min(100.0);
+        let healthy_spare = (100.0 - wear * 0.08).max(85.0);
+        if let (Some(FailureLevel::Drive), Some(d)) = (level, dtf) {
+            if d <= 10.0 && !silent {
+                self.spare -= rng.random_range(2.0..9.0);
+            }
+        }
+        self.spare = self.spare.min(healthy_spare).max(0.0);
+
+        // --- assemble the snapshot ---------------------------------------------
+        let threshold = 10.0;
+        let critical =
+            if self.spare < threshold || self.media_errors > 60.0 { 1.0 } else { 0.0 };
+        let temp_boost = match (overtemp, dtf) {
+            (true, Some(d)) if d <= 5.0 => 9.0,
+            _ => 0.0,
+        };
+        let temperature = normal(38.0, 3.0, rng) + temp_boost;
+
+        let mut s = SmartValues::default();
+        s.set(SmartAttr::CriticalWarning, critical);
+        s.set(SmartAttr::CompositeTemperature, temperature);
+        s.set(SmartAttr::AvailableSpare, self.spare.floor());
+        s.set(SmartAttr::AvailableSpareThreshold, threshold);
+        s.set(SmartAttr::PercentageUsed, wear.floor());
+        s.set(SmartAttr::DataUnitsRead, self.read.floor());
+        s.set(SmartAttr::DataUnitsWritten, self.written.floor());
+        s.set(SmartAttr::HostReadCommands, self.read_cmds.floor());
+        s.set(SmartAttr::HostWriteCommands, self.write_cmds.floor());
+        s.set(SmartAttr::ControllerBusyTime, self.busy_minutes.floor());
+        s.set(SmartAttr::PowerCycles, self.cycles.floor());
+        s.set(SmartAttr::PowerOnHours, self.poh.floor());
+        s.set(SmartAttr::UnsafeShutdowns, self.unsafe_shutdowns.floor());
+        s.set(SmartAttr::MediaErrors, self.media_errors.floor());
+        s.set(SmartAttr::ErrorLogEntries, self.err_log.floor());
+        s.set(SmartAttr::Capacity, self.capacity_gb as f64);
+        s
+    }
+
+    /// Current cumulative power-on hours.
+    pub fn power_on_hours(&self) -> f64 {
+        self.poh
+    }
+}
+
+fn poisson(lambda: f64, rng: &mut StdRng) -> f64 {
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    Poisson::new(lambda).map_or(0.0, |d| d.sample(rng))
+}
+
+fn normal(mean: f64, std: f64, rng: &mut StdRng) -> f64 {
+    Normal::new(mean, std).map_or(mean, |d| d.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run(
+        plan: Option<FailurePlan>,
+        noisy: bool,
+        days: i64,
+        seed: u64,
+    ) -> Vec<SmartValues> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = UsageProfile::always_on();
+        let mut traj = SmartTrajectory::new(&profile, 512, 200.0, noisy, plan, &mut rng);
+        (0..days).map(|d| traj.record_for(d, 1.0, &mut rng)).collect()
+    }
+
+    fn last(v: &[SmartValues], attr: SmartAttr) -> f64 {
+        v.last().unwrap().get(attr)
+    }
+
+    #[test]
+    fn cumulative_counters_monotone() {
+        let recs = run(None, false, 60, 1);
+        for attr in [
+            SmartAttr::PowerOnHours,
+            SmartAttr::DataUnitsWritten,
+            SmartAttr::PowerCycles,
+            SmartAttr::MediaErrors,
+        ] {
+            let vals: Vec<f64> = recs.iter().map(|r| r.get(attr)).collect();
+            assert!(vals.windows(2).all(|w| w[1] >= w[0]), "{attr} not monotone");
+        }
+    }
+
+    #[test]
+    fn healthy_drive_stays_clean() {
+        let recs = run(None, false, 120, 2);
+        assert!(last(&recs, SmartAttr::MediaErrors) < 5.0);
+        assert!(last(&recs, SmartAttr::AvailableSpare) > 80.0);
+        assert_eq!(last(&recs, SmartAttr::CriticalWarning), 0.0);
+    }
+
+    #[test]
+    fn drive_level_failure_degrades_smart() {
+        let plan =
+            FailurePlan { day: 100, level: FailureLevel::Drive, smart_silent: false, precursor_scale: 1.0, overtemp: false };
+        let recs = run(Some(plan), false, 101, 3);
+        assert!(
+            last(&recs, SmartAttr::MediaErrors) > 30.0,
+            "media errors = {}",
+            last(&recs, SmartAttr::MediaErrors)
+        );
+        assert!(last(&recs, SmartAttr::AvailableSpare) < 60.0);
+    }
+
+    #[test]
+    fn smart_silent_failure_keeps_media_errors_low() {
+        let plan =
+            FailurePlan { day: 100, level: FailureLevel::System, smart_silent: true, precursor_scale: 1.0, overtemp: false };
+        let recs = run(Some(plan), false, 101, 4);
+        assert!(last(&recs, SmartAttr::MediaErrors) < 5.0);
+        assert!(last(&recs, SmartAttr::AvailableSpare) > 80.0);
+    }
+
+    #[test]
+    fn noisy_healthy_accumulates_benign_errors() {
+        let recs = run(None, true, 150, 5);
+        let me = last(&recs, SmartAttr::MediaErrors);
+        assert!(me > 3.0, "media errors = {me}");
+        assert!(me < 40.0, "media errors = {me}");
+    }
+
+    #[test]
+    fn overtemp_failure_heats_up_near_death() {
+        let plan =
+            FailurePlan { day: 30, level: FailureLevel::Drive, smart_silent: false, precursor_scale: 1.0, overtemp: true };
+        let recs = run(Some(plan), false, 31, 6);
+        let early: f64 = recs[..20].iter().map(|r| r.get(SmartAttr::CompositeTemperature)).sum::<f64>() / 20.0;
+        let late: f64 = recs[26..].iter().map(|r| r.get(SmartAttr::CompositeTemperature)).sum::<f64>() / 5.0;
+        assert!(late > early + 4.0, "early {early:.1}, late {late:.1}");
+    }
+
+    #[test]
+    fn capacity_constant_and_threshold_fixed() {
+        let recs = run(None, false, 10, 7);
+        for r in &recs {
+            assert_eq!(r.get(SmartAttr::Capacity), 512.0);
+            assert_eq!(r.get(SmartAttr::AvailableSpareThreshold), 10.0);
+        }
+    }
+
+    #[test]
+    fn age_seeds_cumulative_state() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let profile = UsageProfile::always_on();
+        let old = SmartTrajectory::new(&profile, 256, 700.0, false, None, &mut rng);
+        let new = SmartTrajectory::new(&profile, 256, 10.0, false, None, &mut rng);
+        assert!(old.power_on_hours() > new.power_on_hours() * 10.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Month-over-month covariate drift.
+//!
+//! §IV(5): after 2–3 months without retraining, MFPA's FPR creeps up —
+//! "the historical changes of some feature values that MFPA has learned
+//! in the past cannot adapt to the new data". The fleet reproduces this
+//! by letting *healthy* baseline rates (benign W/B noise, benign SMART
+//! blips, write intensity) scale up month over month: a model trained in
+//! months 0–1 sees month-4 healthy drives as mildly anomalous.
+
+/// Multiplier applied to healthy baseline event/anomaly rates on `day`,
+/// given the configured monthly drift rate (30-day months).
+///
+/// Day 0–29 is month 0 (multiplier 1); each later month compounds
+/// linearly: `1 + rate × month`.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_fleetsim::drift::drift_multiplier;
+///
+/// assert_eq!(drift_multiplier(10, 0.2), 1.0);
+/// assert_eq!(drift_multiplier(95, 0.2), 1.6); // month 3
+/// assert_eq!(drift_multiplier(95, 0.0), 1.0); // drift disabled
+/// ```
+pub fn drift_multiplier(day: i64, rate_per_month: f64) -> f64 {
+    if rate_per_month <= 0.0 {
+        return 1.0;
+    }
+    let month = (day.max(0) / 30) as f64;
+    1.0 + rate_per_month * month
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_zero_is_identity() {
+        for day in 0..30 {
+            assert_eq!(drift_multiplier(day, 0.5), 1.0);
+        }
+    }
+
+    #[test]
+    fn monotone_in_time() {
+        let mut prev = 0.0;
+        for month in 0..6 {
+            let m = drift_multiplier(month * 30, 0.15);
+            assert!(m >= prev);
+            prev = m;
+        }
+        assert!((drift_multiplier(150, 0.15) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_days_clamped() {
+        assert_eq!(drift_multiplier(-40, 0.5), 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Windows-event and BSOD generation (Obs #3 / #4, Figs 4–5).
+//!
+//! Healthy machines emit rare benign events (paging hiccups, the odd
+//! crash); a small "flaky OS" subpopulation emits markedly more without
+//! any disk problem. Drives approaching failure emit storms: the event
+//! rate multiplies by an exponential ramp over the last
+//! [`crate::degradation::RAMP_DAYS`] days, with system-level failures
+//! ramping hardest (the failure *is* a system symptom) and
+//! storage-related BSOD codes ramping more than generic ones.
+
+use mfpa_telemetry::{BsodCode, FailureLevel, WindowsEventId};
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Poisson};
+
+use crate::degradation::RAMP_DAYS;
+
+/// Per-day baseline rate of a Windows event on a healthy machine.
+pub fn w_base_rate(id: WindowsEventId) -> f64 {
+    match id {
+        WindowsEventId::W51 => 0.0040, // paging hiccups are the most common
+        WindowsEventId::W11 => 0.0020,
+        WindowsEventId::W157 => 0.0012, // the odd surprise removal
+        WindowsEventId::W7 => 0.0008,
+        WindowsEventId::W15 => 0.0006,
+        WindowsEventId::W49 => 0.0005,
+        WindowsEventId::W154 => 0.0004,
+        WindowsEventId::W161 => 0.0006,
+        WindowsEventId::W52 => 0.0001, // SMART trip is rare on healthy drives
+    }
+}
+
+/// Per-day baseline rate of a BSOD stop code on a healthy machine.
+pub fn b_base_rate(code: BsodCode) -> f64 {
+    if code.is_storage_related() {
+        0.0004
+    } else {
+        0.0002
+    }
+}
+
+/// How strongly a Windows event participates in the pre-failure storm.
+pub fn w_failure_weight(id: WindowsEventId) -> f64 {
+    match id {
+        // §IV(2.2): W_11, W_49, W_51, W_161 "require special attention".
+        WindowsEventId::W11 | WindowsEventId::W49 | WindowsEventId::W51 | WindowsEventId::W161 => {
+            1.0
+        }
+        WindowsEventId::W52 => 0.8, // the OS surfacing the drive's own prediction
+        WindowsEventId::W7 | WindowsEventId::W154 => 0.5,
+        WindowsEventId::W15 | WindowsEventId::W157 => 0.25,
+    }
+}
+
+/// How strongly a BSOD code participates in the pre-failure storm
+/// (§IV(2.2) flags `B_50` and `B_7A`).
+pub fn b_failure_weight(code: BsodCode) -> f64 {
+    match code {
+        BsodCode::B0x50 | BsodCode::B0x7A => 1.0,
+        c if c.is_storage_related() => 0.6,
+        _ => 0.08,
+    }
+}
+
+/// The exponential pre-failure ramp factor at `days_to_failure`.
+pub fn failure_ramp(days_to_failure: f64) -> f64 {
+    if days_to_failure > RAMP_DAYS {
+        0.0
+    } else {
+        ((RAMP_DAYS - days_to_failure.max(0.0)) / 4.0).exp()
+    }
+}
+
+/// Windows-event storm amplitude per failure level: system-level
+/// failures *are* OS symptoms, so they ramp hardest.
+pub fn level_amplitude_w(level: FailureLevel) -> f64 {
+    match level {
+        FailureLevel::System => 55.0,
+        FailureLevel::Drive => 18.0,
+    }
+}
+
+/// BSOD storm amplitude per failure level: drive-level failures mostly
+/// degrade I/O without blue-screening until the very end, so their BSOD
+/// ramp is much weaker than their Windows-event ramp.
+pub fn level_amplitude_b(level: FailureLevel) -> f64 {
+    match level {
+        FailureLevel::System => 38.0,
+        FailureLevel::Drive => 5.0,
+    }
+}
+
+/// Event-generation context for one drive-day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventContext {
+    /// Days until the planned failure (`None` = healthy).
+    pub days_to_failure: Option<f64>,
+    /// Failure level, when failing.
+    pub level: Option<FailureLevel>,
+    /// Precursor scale from the failure plan (≈0.05 for sudden deaths).
+    pub precursor: f64,
+    /// Flaky-software machine (elevated benign noise).
+    pub noisy_os: bool,
+    /// Covariate-drift multiplier on benign rates.
+    pub drift: f64,
+}
+
+impl EventContext {
+    /// A healthy, quiet machine with no drift.
+    pub fn healthy() -> Self {
+        EventContext {
+            days_to_failure: None,
+            level: None,
+            precursor: 1.0,
+            noisy_os: false,
+            drift: 1.0,
+        }
+    }
+
+    fn storm_w(&self) -> f64 {
+        match (self.days_to_failure, self.level) {
+            (Some(d), Some(level)) => {
+                level_amplitude_w(level) * failure_ramp(d) * self.precursor
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn storm_b(&self) -> f64 {
+        match (self.days_to_failure, self.level) {
+            (Some(d), Some(level)) => {
+                level_amplitude_b(level) * failure_ramp(d) * self.precursor
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Samples the nine daily Windows-event counts for one drive-day.
+pub fn daily_w_counts(ctx: &EventContext, rng: &mut StdRng) -> [u32; 9] {
+    let noise = if ctx.noisy_os { 6.0 } else { 1.0 };
+    let storm = ctx.storm_w();
+    let mut out = [0u32; 9];
+    for id in WindowsEventId::ALL {
+        let rate =
+            w_base_rate(id) * noise * ctx.drift + 0.02 * storm * w_failure_weight(id);
+        out[id.index()] = poisson_u32(rate, rng);
+    }
+    out
+}
+
+/// Samples the 23 daily BSOD counts for one drive-day.
+pub fn daily_b_counts(ctx: &EventContext, rng: &mut StdRng) -> [u32; 23] {
+    let noise = if ctx.noisy_os { 3.0 } else { 1.0 };
+    let storm = ctx.storm_b();
+    let mut out = [0u32; 23];
+    for code in BsodCode::ALL {
+        let rate =
+            b_base_rate(code) * noise * ctx.drift + 0.012 * storm * b_failure_weight(code);
+        out[code.index()] = poisson_u32(rate, rng);
+    }
+    out
+}
+
+fn poisson_u32(lambda: f64, rng: &mut StdRng) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    Poisson::new(lambda).map_or(0, |d| d.sample(rng).min(1e6) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn total_over(ctx: &EventContext, days: usize, seed: u64) -> (u64, u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = 0u64;
+        let mut b = 0u64;
+        for _ in 0..days {
+            w += daily_w_counts(ctx, &mut rng).iter().map(|&c| c as u64).sum::<u64>();
+            b += daily_b_counts(ctx, &mut rng).iter().map(|&c| c as u64).sum::<u64>();
+        }
+        (w, b)
+    }
+
+    #[test]
+    fn healthy_machines_are_quiet() {
+        let (w, b) = total_over(&EventContext::healthy(), 180, 1);
+        assert!(w < 10, "w = {w}");
+        assert!(b < 10, "b = {b}");
+    }
+
+    #[test]
+    fn failing_system_level_storms() {
+        // Sum over the last 14 days before failure.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = 0u64;
+        for d in (0..14).rev() {
+            let ctx = EventContext {
+                days_to_failure: Some(d as f64),
+                level: Some(FailureLevel::System),
+                precursor: 1.0,
+                noisy_os: false,
+                drift: 1.0,
+            };
+            w += daily_w_counts(&ctx, &mut rng).iter().map(|&c| c as u64).sum::<u64>();
+        }
+        assert!(w > 15, "w = {w}");
+    }
+
+    #[test]
+    fn system_storms_harder_than_drive() {
+        let mk = |level| EventContext {
+            days_to_failure: Some(1.0),
+            level: Some(level),
+            precursor: 1.0,
+            noisy_os: false,
+            drift: 1.0,
+        };
+        let (ws, _) = total_over(&mk(FailureLevel::System), 30, 3);
+        let (wd, _) = total_over(&mk(FailureLevel::Drive), 30, 3);
+        assert!(ws > wd, "system {ws} vs drive {wd}");
+    }
+
+    #[test]
+    fn noisy_os_machines_are_noisier_but_not_storming() {
+        let noisy = EventContext { noisy_os: true, ..EventContext::healthy() };
+        let (wn, _) = total_over(&noisy, 365, 4);
+        let (wq, _) = total_over(&EventContext::healthy(), 365, 4);
+        assert!(wn > wq);
+        assert!(wn < 40, "wn = {wn}");
+    }
+
+    #[test]
+    fn ramp_is_zero_far_from_failure_and_grows_towards_it() {
+        assert_eq!(failure_ramp(30.0), 0.0);
+        assert!(failure_ramp(10.0) < failure_ramp(5.0));
+        assert!(failure_ramp(0.0) > 20.0);
+    }
+
+    #[test]
+    fn drift_raises_benign_rates() {
+        let drifted = EventContext { drift: 3.0, ..EventContext::healthy() };
+        let (w3, _) = total_over(&drifted, 3000, 5);
+        let (w1, _) = total_over(&EventContext::healthy(), 3000, 5);
+        assert!(w3 > 2 * w1, "w3 = {w3}, w1 = {w1}");
+    }
+
+    #[test]
+    fn storage_codes_weighted_higher() {
+        assert!(b_failure_weight(BsodCode::B0x50) > b_failure_weight(BsodCode::B0x17E));
+        assert!(w_failure_weight(WindowsEventId::W161) > w_failure_weight(WindowsEventId::W157));
+    }
+}

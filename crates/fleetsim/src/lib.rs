@@ -1,0 +1,50 @@
+//! Synthetic production consumer storage system (CSS).
+//!
+//! The paper studies ~2.3 million consumer M.2 NVMe SSDs with proprietary
+//! Huawei telemetry; this crate is the substitution documented in
+//! DESIGN.md: a generative fleet model that encodes the paper's empirical
+//! observations so the MFPA pipeline exercises the same phenomena:
+//!
+//! * **Bathtub lifetimes** (Obs #1 / Fig 2): per-drive hazard is a Weibull
+//!   infant-mortality term + constant + wear-out term ([`hazard`]).
+//! * **Firmware effects** (Obs #2 / Fig 3): earlier firmware releases
+//!   carry higher hazard multipliers; most drives never update.
+//! * **Windows events and BSODs as precursors** (Obs #3–#4 / Figs 4–5):
+//!   Poisson event processes whose rates ramp up before failure
+//!   ([`events`]), much more strongly for system-level failures.
+//! * **Discontinuous observation** (Fig 6): consumer machines are not
+//!   powered on daily; a per-user activity profile plus vacation gaps
+//!   drive which days produce records ([`usage`]).
+//! * **Drive-level vs system-level failure mix** (Table I): failure causes
+//!   are drawn from the RaSRF taxonomy; drive-level failures degrade
+//!   SMART hard, system-level ones may be SMART-silent ([`degradation`]).
+//! * **Repair procrastination** (§III-C(2)): trouble tickets carry an
+//!   initial maintenance time days after the true failure ([`tickets`]).
+//! * **Covariate drift** (Fig 12/16): healthy baseline rates drift month
+//!   over month, eroding a frozen model's FPR ([`drift`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
+//!
+//! let fleet = SimulatedFleet::generate(&FleetConfig::tiny(42));
+//! assert!(!fleet.tickets().is_empty());
+//! assert_eq!(fleet.drives().iter().filter(|d| d.truth().is_some()).count(),
+//!            fleet.failures().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+pub mod degradation;
+pub mod drift;
+pub mod events;
+mod fleet;
+pub mod hazard;
+pub mod tickets;
+pub mod usage;
+
+pub use config::{FleetConfig, STUDY_DAYS};
+pub use fleet::{FailureRecord, FailureTruth, SimulatedDrive, SimulatedFleet, VendorStats};

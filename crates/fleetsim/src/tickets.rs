@@ -1,0 +1,100 @@
+//! Trouble-ticket generation (RaSRF).
+//!
+//! §III-C(2): "a faulty SSD may not be immediately sent to the after-sales
+//! department" — the ticket's initial maintenance time (IMT) trails the
+//! true failure by a repair delay. Causes follow Table I's distribution.
+
+use mfpa_telemetry::{FailureCause, SerialNumber, TroubleTicket};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Samples a failure cause from Table I's RaSRF distribution.
+pub fn sample_cause(rng: &mut StdRng) -> FailureCause {
+    let total: f64 = FailureCause::ALL.iter().map(|c| c.paper_percentage()).sum();
+    let mut u = rng.random_range(0.0..total);
+    for cause in FailureCause::ALL {
+        u -= cause.paper_percentage();
+        if u <= 0.0 {
+            return cause;
+        }
+    }
+    FailureCause::AppsCrash // numerically unreachable fallback
+}
+
+/// Samples the repair delay (days between failure and IMT): geometric
+/// with the given mean, capped at 30 days; a mean of 0 means same-day.
+pub fn sample_repair_delay(mean_days: f64, rng: &mut StdRng) -> i64 {
+    if mean_days <= 0.0 {
+        return 0;
+    }
+    let p = (1.0 / (mean_days + 1.0)).clamp(1e-6, 1.0 - 1e-6);
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    ((u.ln() / (1.0 - p).ln()).floor() as i64).clamp(0, 30)
+}
+
+/// Creates the trouble ticket for a failure on `failure_day`.
+pub fn make_ticket(
+    serial: SerialNumber,
+    failure_day: i64,
+    cause: FailureCause,
+    mean_repair_delay: f64,
+    rng: &mut StdRng,
+) -> TroubleTicket {
+    let delay = sample_repair_delay(mean_repair_delay, rng);
+    TroubleTicket::new(serial, mfpa_telemetry::DayStamp::new(failure_day + delay), cause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfpa_telemetry::{FailureLevel, Vendor};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cause_distribution_matches_table_i() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut drive_level = 0usize;
+        for _ in 0..n {
+            if sample_cause(&mut rng).level() == FailureLevel::Drive {
+                drive_level += 1;
+            }
+        }
+        let pct = drive_level as f64 / n as f64 * 100.0;
+        assert!((pct - 31.62).abs() < 1.5, "drive-level = {pct:.2}%");
+    }
+
+    #[test]
+    fn repair_delay_mean_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let delays: Vec<i64> = (0..n).map(|_| sample_repair_delay(4.0, &mut rng)).collect();
+        assert!(delays.iter().all(|&d| (0..=30).contains(&d)));
+        let mean: f64 = delays.iter().sum::<i64>() as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.6, "mean = {mean}");
+    }
+
+    #[test]
+    fn zero_mean_delay_is_same_day() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(sample_repair_delay(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn ticket_imt_not_before_failure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..100 {
+            let t = make_ticket(
+                SerialNumber::new(Vendor::II, i),
+                50,
+                FailureCause::Bootloop,
+                5.0,
+                &mut rng,
+            );
+            assert!(t.imt().day() >= 50);
+            assert!(t.imt().day() <= 80);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Consumer usage model: power-on behaviour and discontinuous telemetry.
+//!
+//! §II challenge (2): "the startup time of CSS is irregular … resulting in
+//! the discontinuity of the dataset". Each machine gets a usage profile
+//! (how many hours per day it runs, how likely it is to be powered on at
+//! all) plus occasional multi-day vacation gaps; telemetry exists only on
+//! powered-on days — including gaps ≥ 10 days that the pipeline must drop
+//! (Fig 6 / §III-C(1)).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A machine's usage profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageProfile {
+    /// Average powered-on hours on an active day.
+    pub hours_per_day: f64,
+    /// Probability the machine is used (and reports telemetry) on any
+    /// given non-vacation day.
+    pub daily_on_prob: f64,
+    /// Per-day probability of starting a vacation gap.
+    pub vacation_prob: f64,
+    /// Mean vacation length in days.
+    pub mean_vacation_days: f64,
+}
+
+impl UsageProfile {
+    /// Samples a random consumer profile: 2–12 h/day, 40–95% daily usage,
+    /// a vacation roughly every few months averaging ~8 days.
+    pub fn sample(rng: &mut StdRng) -> Self {
+        UsageProfile {
+            hours_per_day: rng.random_range(2.0..12.0),
+            daily_on_prob: rng.random_range(0.40..0.95),
+            vacation_prob: 0.008,
+            mean_vacation_days: 8.0,
+        }
+    }
+
+    /// A deterministic always-on profile (useful in tests).
+    pub fn always_on() -> Self {
+        UsageProfile {
+            hours_per_day: 8.0,
+            daily_on_prob: 1.0,
+            vacation_prob: 0.0,
+            mean_vacation_days: 0.0,
+        }
+    }
+
+    /// Generates the powered-on (= telemetry-producing) days in
+    /// `[0, horizon)`, honouring vacations.
+    pub fn observed_days(&self, horizon: i64, rng: &mut StdRng) -> Vec<i64> {
+        let mut days = Vec::new();
+        let mut vacation_until = -1i64;
+        for day in 0..horizon {
+            if day <= vacation_until {
+                continue;
+            }
+            if self.vacation_prob > 0.0 && rng.random_range(0.0..1.0) < self.vacation_prob {
+                // Geometric-ish vacation length, capped at 24 days so the
+                // pipeline sees both fillable and droppable gaps.
+                let len = sample_vacation_len(self.mean_vacation_days, rng);
+                vacation_until = day + len;
+                continue;
+            }
+            if rng.random_range(0.0..1.0) < self.daily_on_prob {
+                days.push(day);
+            }
+        }
+        days
+    }
+}
+
+fn sample_vacation_len(mean: f64, rng: &mut StdRng) -> i64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Inverse-CDF geometric with the requested mean, capped.
+    let p = 1.0 / mean;
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    ((u.ln() / (1.0 - p).ln()).ceil() as i64).clamp(1, 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_on_covers_every_day() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let days = UsageProfile::always_on().observed_days(30, &mut rng);
+        assert_eq!(days, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observed_days_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = UsageProfile::sample(&mut rng);
+        let days = p.observed_days(180, &mut rng);
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+        assert!(days.iter().all(|&d| (0..180).contains(&d)));
+    }
+
+    #[test]
+    fn on_probability_controls_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sparse = UsageProfile { daily_on_prob: 0.3, ..UsageProfile::always_on() };
+        let dense = UsageProfile { daily_on_prob: 0.9, ..UsageProfile::always_on() };
+        let s = sparse.observed_days(365, &mut rng).len();
+        let d = dense.observed_days(365, &mut rng).len();
+        assert!(d > s);
+        assert!((s as f64 - 0.3 * 365.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn vacations_create_long_gaps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = UsageProfile {
+            vacation_prob: 0.05,
+            mean_vacation_days: 12.0,
+            ..UsageProfile::always_on()
+        };
+        let days = p.observed_days(365, &mut rng);
+        let max_gap = days.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(max_gap >= 8, "max gap = {max_gap}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = UsageProfile::sample(&mut StdRng::seed_from_u64(7));
+        let a = p.observed_days(100, &mut StdRng::seed_from_u64(9));
+        let b = p.observed_days(100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_profiles_in_documented_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let p = UsageProfile::sample(&mut rng);
+            assert!((2.0..12.0).contains(&p.hours_per_day));
+            assert!((0.40..0.95).contains(&p.daily_on_prob));
+        }
+    }
+}

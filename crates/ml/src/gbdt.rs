@@ -1,0 +1,294 @@
+//! Gradient-boosted decision trees with logistic loss.
+//!
+//! Newton boosting: each round fits a regression tree to the gradient
+//! residuals `y − p` and sets leaf values with the second-order step
+//! `Σ(y − p) / Σ p(1 − p)`, then the ensemble score is updated with
+//! shrinkage. Optional row subsampling makes it stochastic GBDT.
+
+use mfpa_dataset::Matrix;
+use serde::{Deserialize, Serialize};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
+use crate::model::Classifier;
+use crate::tree::{DecisionTree, MaxFeatures, TreeParams};
+
+/// Gradient-boosted decision-tree binary classifier.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::Matrix;
+/// use mfpa_ml::{Classifier, Gbdt};
+///
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![0.2], vec![0.9], vec![1.0], vec![1.1],
+/// ]).unwrap();
+/// let y = [false, false, false, true, true, true];
+/// let mut g = Gbdt::new(30, 0.2, 3).with_seed(1);
+/// g.fit(&x, &y)?;
+/// assert_eq!(g.predict(&x)?, y);
+/// # Ok::<(), mfpa_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    n_rounds: usize,
+    learning_rate: f64,
+    max_depth: usize,
+    subsample: f64,
+    min_samples_leaf: usize,
+    seed: u64,
+    base_score: f64,
+    trees: Vec<DecisionTree>,
+    n_features: Option<usize>,
+}
+
+impl Gbdt {
+    /// Creates a booster with `n_rounds` trees, shrinkage `learning_rate`
+    /// and per-tree `max_depth`. Row subsampling defaults to 1.0 (off).
+    pub fn new(n_rounds: usize, learning_rate: f64, max_depth: usize) -> Self {
+        Gbdt {
+            n_rounds: n_rounds.max(1),
+            learning_rate,
+            max_depth,
+            subsample: 1.0,
+            min_samples_leaf: 1,
+            seed: 0,
+            base_score: 0.0,
+            trees: Vec::new(),
+            n_features: None,
+        }
+    }
+
+    /// Sets the RNG seed (row subsampling).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables stochastic boosting with the given row fraction per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn with_subsample(mut self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "subsample fraction must be in (0, 1]");
+        self.subsample = fraction;
+        self
+    }
+
+    /// Sets the minimum samples per leaf of each tree.
+    pub fn with_min_samples_leaf(mut self, n: usize) -> Self {
+        self.min_samples_leaf = n.max(1);
+        self
+    }
+
+    /// Number of boosting rounds configured.
+    pub fn n_rounds(&self) -> usize {
+        self.n_rounds
+    }
+
+    /// Raw additive scores (log-odds) for each row.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Classifier::predict_proba`].
+    pub fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        check_predict_inputs(x, self.n_features)?;
+        let mut scores = vec![self.base_score; x.n_rows()];
+        for tree in &self.trees {
+            for (s, row) in scores.iter_mut().zip(x.rows()) {
+                *s += self.learning_rate * tree.predict_row(row);
+            }
+        }
+        Ok(scores)
+    }
+
+    /// Mean per-feature split-gain importances over all rounds.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let Some(n_features) = self.n_features else {
+            return Vec::new();
+        };
+        let mut imp = vec![0.0; n_features];
+        for t in &self.trees {
+            for (a, b) in imp.iter_mut().zip(t.feature_importances()) {
+                *a += b;
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z.clamp(-700.0, 700.0)).exp())
+}
+
+impl Classifier for Gbdt {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) -> Result<(), MlError> {
+        check_fit_inputs(x, y)?;
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(MlError::InvalidParameter(format!(
+                "learning_rate must be positive, got {}",
+                self.learning_rate
+            )));
+        }
+        let n = x.n_rows();
+        let targets: Vec<f64> = y.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        let pos = targets.iter().sum::<f64>();
+        // F0 = log-odds of the base rate.
+        let p0 = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        self.base_score = (p0 / (1.0 - p0)).ln();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut scores = vec![self.base_score; n];
+        let params = TreeParams {
+            max_depth: self.max_depth,
+            min_samples_split: 2,
+            min_samples_leaf: self.min_samples_leaf,
+            max_features: MaxFeatures::All,
+        };
+        let mut trees = Vec::with_capacity(self.n_rounds);
+        let mut all_rows: Vec<usize> = (0..n).collect();
+        for round in 0..self.n_rounds {
+            let probs: Vec<f64> = scores.iter().map(|&s| sigmoid(s)).collect();
+            let grads: Vec<f64> = targets.iter().zip(&probs).map(|(t, p)| t - p).collect();
+            let hess: Vec<f64> = probs.iter().map(|p| (p * (1.0 - p)).max(1e-6)).collect();
+
+            let mut tree = DecisionTree::new(params)
+                .with_seed(self.seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9));
+            if self.subsample < 1.0 {
+                all_rows.shuffle(&mut rng);
+                let k = ((n as f64) * self.subsample).ceil().max(2.0) as usize;
+                let rows = &all_rows[..k.min(n)];
+                let bx = x.select_rows(rows);
+                let bg: Vec<f64> = rows.iter().map(|&i| grads[i]).collect();
+                let bh: Vec<f64> = rows.iter().map(|&i| hess[i]).collect();
+                tree.fit_regression(&bx, &bg, Some(&bh))?;
+            } else {
+                tree.fit_regression(x, &grads, Some(&hess))?;
+            }
+            for (s, row) in scores.iter_mut().zip(x.rows()) {
+                *s += self.learning_rate * tree.predict_row(row);
+            }
+            trees.push(tree);
+        }
+        self.trees = trees;
+        self.n_features = Some(x.n_cols());
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        Ok(self.decision_function(x)?.into_iter().map(sigmoid).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "GBDT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::auc;
+    use rand::RngExt;
+
+    fn ring_data(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        // Positive = inside the unit circle: nonlinear boundary.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random_range(-1.5..1.5);
+            let b: f64 = rng.random_range(-1.5..1.5);
+            rows.push(vec![a, b]);
+            y.push(a * a + b * b < 1.0);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (x, y) = ring_data(400, 1);
+        let mut g = Gbdt::new(60, 0.2, 3).with_seed(2);
+        g.fit(&x, &y).unwrap();
+        let p = g.predict_proba(&x).unwrap();
+        assert!(auc(&y, &p) > 0.97, "auc = {}", auc(&y, &p));
+    }
+
+    #[test]
+    fn training_loss_decreases_with_rounds() {
+        let (x, y) = ring_data(200, 3);
+        let loss = |model: &Gbdt| -> f64 {
+            let p = model.predict_proba(&x).unwrap();
+            -y.iter()
+                .zip(&p)
+                .map(|(&t, &pi)| {
+                    let pi = pi.clamp(1e-9, 1.0 - 1e-9);
+                    if t { pi.ln() } else { (1.0 - pi).ln() }
+                })
+                .sum::<f64>()
+                / y.len() as f64
+        };
+        let mut small = Gbdt::new(5, 0.2, 3).with_seed(4);
+        let mut big = Gbdt::new(50, 0.2, 3).with_seed(4);
+        small.fit(&x, &y).unwrap();
+        big.fit(&x, &y).unwrap();
+        assert!(loss(&big) < loss(&small));
+    }
+
+    #[test]
+    fn base_score_matches_base_rate() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![1.0]]).unwrap();
+        let y = [false, false, false, true];
+        let mut g = Gbdt::new(1, 1e-9, 1).with_seed(0);
+        g.fit(&x, &y).unwrap();
+        // With a negligible learning rate, probability ≈ base rate 0.25.
+        let p = g.predict_proba(&x).unwrap();
+        assert!((p[0] - 0.25).abs() < 1e-3, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn subsampled_boosting_still_learns() {
+        let (x, y) = ring_data(300, 5);
+        let mut g = Gbdt::new(60, 0.2, 3).with_seed(6).with_subsample(0.5);
+        g.fit(&x, &y).unwrap();
+        assert!(auc(&y, &g.predict_proba(&x).unwrap()) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = ring_data(100, 7);
+        let mut a = Gbdt::new(10, 0.3, 3).with_seed(8).with_subsample(0.7);
+        let mut b = Gbdt::new(10, 0.3, 3).with_seed(8).with_subsample(0.7);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn invalid_learning_rate_rejected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let mut g = Gbdt::new(5, 0.0, 2);
+        assert!(matches!(g.fit(&x, &[true, false]), Err(MlError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn decision_function_monotone_with_proba() {
+        let (x, y) = ring_data(80, 9);
+        let mut g = Gbdt::new(20, 0.2, 3).with_seed(1);
+        g.fit(&x, &y).unwrap();
+        let d = g.decision_function(&x).unwrap();
+        let p = g.predict_proba(&x).unwrap();
+        for (di, pi) in d.iter().zip(&p) {
+            assert!((sigmoid(*di) - pi).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Grid search over model hyperparameters (§III-C(4)).
+//!
+//! "We utilize Grid Search, combined with time-series-based
+//! cross-validation, to optimize the value of hyperparameters." The grid
+//! is a cartesian product of named numeric parameter values; the caller
+//! supplies cross-validation folds (typically
+//! [`mfpa_dataset::cv::time_series_cv`]) and a factory building a
+//! [`Classifier`] from a parameter assignment. Candidates are ranked by
+//! mean validation AUC.
+
+use std::collections::BTreeMap;
+
+use mfpa_dataset::cv::Fold;
+use mfpa_dataset::Matrix;
+
+use crate::error::MlError;
+use crate::metrics::auc;
+use crate::model::Classifier;
+
+/// A concrete hyperparameter assignment (name → value).
+pub type ParamSet = BTreeMap<String, f64>;
+
+/// Cartesian hyperparameter grid.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_ml::grid::ParamGrid;
+///
+/// let grid = ParamGrid::new()
+///     .add("n_trees", &[50.0, 100.0])
+///     .add("max_depth", &[4.0, 8.0, 12.0]);
+/// assert_eq!(grid.candidates().len(), 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrid {
+    axes: Vec<(String, Vec<f64>)>,
+}
+
+impl ParamGrid {
+    /// Creates an empty grid (one empty candidate).
+    pub fn new() -> Self {
+        ParamGrid::default()
+    }
+
+    /// Adds a parameter axis.
+    pub fn add(mut self, name: &str, values: &[f64]) -> Self {
+        self.axes.push((name.to_owned(), values.to_vec()));
+        self
+    }
+
+    /// Enumerates all parameter assignments (cartesian product).
+    pub fn candidates(&self) -> Vec<ParamSet> {
+        let mut out: Vec<ParamSet> = vec![ParamSet::new()];
+        for (name, values) in &self.axes {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for base in &out {
+                for &v in values {
+                    let mut p = base.clone();
+                    p.insert(name.clone(), v);
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// The parameter assignment.
+    pub params: ParamSet,
+    /// Mean validation AUC across folds.
+    pub mean_auc: f64,
+}
+
+/// Grid-search result: the winning assignment plus the full trial log.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// The best parameter assignment.
+    pub best_params: ParamSet,
+    /// Its mean validation AUC.
+    pub best_auc: f64,
+    /// All trials in evaluation order.
+    pub trials: Vec<Trial>,
+}
+
+/// Runs an exhaustive grid search.
+///
+/// For every candidate assignment, a fresh model is built by `factory`,
+/// trained on each fold's training rows and scored by AUC on the fold's
+/// validation rows; candidates are ranked by mean AUC. Folds whose
+/// validation set has a single class contribute AUC 0.5 (no information).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] for an empty fold list and
+/// propagates model fit/predict errors; folds whose *training* rows have
+/// a single class are skipped, and a candidate with no usable folds
+/// scores 0.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::{cv::kfold, Matrix};
+/// use mfpa_ml::grid::{grid_search, ParamGrid};
+/// use mfpa_ml::RandomForest;
+///
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![0.2], vec![0.3],
+///     vec![1.0], vec![1.1], vec![1.2], vec![1.3],
+/// ]).unwrap();
+/// let y = [false, false, false, false, true, true, true, true];
+/// let folds = kfold(8, 4, 0)?;
+/// let grid = ParamGrid::new().add("max_depth", &[2.0, 4.0]);
+/// let result = grid_search(&grid, &folds, &x, &y, |p| {
+///     Box::new(RandomForest::new(10, p["max_depth"] as usize).with_seed(1))
+/// })?;
+/// // Tiny folds can validate on a single class (AUC 0.5), so the mean
+/// // is informative but not 1.0.
+/// assert!(result.best_auc > 0.6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn grid_search<F>(
+    grid: &ParamGrid,
+    folds: &[Fold],
+    x: &Matrix,
+    y: &[bool],
+    factory: F,
+) -> Result<GridSearchResult, MlError>
+where
+    F: Fn(&ParamSet) -> Box<dyn Classifier>,
+{
+    if folds.is_empty() {
+        return Err(MlError::InvalidParameter("grid search needs at least one fold".into()));
+    }
+    let mut trials = Vec::new();
+    for params in grid.candidates() {
+        let mut fold_aucs = Vec::new();
+        for fold in folds {
+            let train_y: Vec<bool> = fold.train.iter().map(|&i| y[i]).collect();
+            let pos = train_y.iter().filter(|&&l| l).count();
+            if pos == 0 || pos == train_y.len() {
+                continue; // untrainable fold
+            }
+            let train_x = x.select_rows(&fold.train);
+            let val_x = x.select_rows(&fold.validate);
+            let val_y: Vec<bool> = fold.validate.iter().map(|&i| y[i]).collect();
+            let mut model = factory(&params);
+            model.fit(&train_x, &train_y)?;
+            let scores = model.predict_proba(&val_x)?;
+            fold_aucs.push(auc(&val_y, &scores));
+        }
+        let mean_auc = if fold_aucs.is_empty() {
+            0.0
+        } else {
+            fold_aucs.iter().sum::<f64>() / fold_aucs.len() as f64
+        };
+        trials.push(Trial { params, mean_auc });
+    }
+    let best = trials
+        .iter()
+        .max_by(|a, b| a.mean_auc.partial_cmp(&b.mean_auc).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("grid always has at least one candidate");
+    Ok(GridSearchResult {
+        best_params: best.params.clone(),
+        best_auc: best.mean_auc,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_bayes::GaussianNb;
+    use mfpa_dataset::cv::kfold;
+
+    fn toy() -> (Matrix, Vec<bool>) {
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![i as f64 / 10.0 + if i % 2 == 0 { 5.0 } else { 0.0 }]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn empty_grid_yields_single_candidate() {
+        assert_eq!(ParamGrid::new().candidates().len(), 1);
+    }
+
+    #[test]
+    fn cartesian_product_size() {
+        let g = ParamGrid::new().add("a", &[1.0, 2.0]).add("b", &[1.0, 2.0, 3.0]).add("c", &[0.0]);
+        assert_eq!(g.candidates().len(), 6);
+    }
+
+    #[test]
+    fn search_evaluates_all_candidates() {
+        let (x, y) = toy();
+        let folds = kfold(x.n_rows(), 4, 0).unwrap();
+        let grid = ParamGrid::new().add("smoothing", &[1e-9, 1e-3, 1e-1]);
+        let res = grid_search(&grid, &folds, &x, &y, |p| {
+            Box::new(GaussianNb::new().with_var_smoothing(p["smoothing"]))
+        })
+        .unwrap();
+        assert_eq!(res.trials.len(), 3);
+        assert!(res.best_auc > 0.9);
+        assert!(res.trials.iter().all(|t| t.mean_auc <= res.best_auc));
+    }
+
+    #[test]
+    fn no_folds_rejected() {
+        let (x, y) = toy();
+        let grid = ParamGrid::new();
+        assert!(grid_search(&grid, &[], &x, &y, |_| Box::new(GaussianNb::new())).is_err());
+    }
+
+    #[test]
+    fn single_class_folds_skipped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.1], vec![0.9]]).unwrap();
+        let y = [false, true, false, true];
+        // Fold trains on all-negative rows → skipped; candidate scores 0.
+        let folds = vec![Fold { train: vec![0, 2], validate: vec![1, 3] }];
+        let res = grid_search(&ParamGrid::new(), &folds, &x, &y, |_| {
+            Box::new(GaussianNb::new())
+        })
+        .unwrap();
+        assert_eq!(res.best_auc, 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! From-scratch machine-learning library for the MFPA reproduction.
+//!
+//! The paper validates its multidimensional features across five model
+//! families (§III-C(4)): Bayes, SVM, Random Forest, GBDT and CNN_LSTM.
+//! Because the Rust ML ecosystem is thin compared to Python's, this crate
+//! implements all five from first principles, plus the evaluation metrics
+//! (confusion matrix, ACC/TPR/FPR/PDR, ROC/AUC), the vendor
+//! SMART-threshold baseline, grid search with pluggable cross-validation
+//! folds, and the sequential forward selection algorithm (Whitney 1971)
+//! used for the paper's feature selection (Fig 17).
+//!
+//! All models implement the [`Classifier`] trait over
+//! [`mfpa_dataset::Matrix`] feature rows; the CNN_LSTM additionally
+//! interprets each row as a flattened `(steps × features)` sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use mfpa_dataset::Matrix;
+//! use mfpa_ml::{Classifier, RandomForest};
+//!
+//! // Tiny toy problem: label = (x0 > 0.5).
+//! let x = Matrix::from_rows(&[
+//!     vec![0.1], vec![0.2], vec![0.3], vec![0.8], vec![0.9], vec![0.7],
+//! ]).unwrap();
+//! let y = [false, false, false, true, true, true];
+//! let mut rf = RandomForest::new(10, 3).with_seed(42);
+//! rf.fit(&x, &y)?;
+//! let p = rf.predict_proba(&Matrix::from_rows(&[vec![0.95]]).unwrap())?;
+//! assert!(p[0] > 0.5);
+//! # Ok::<(), mfpa_ml::MlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod forest;
+mod gbdt;
+pub mod grid;
+mod logistic;
+pub mod metrics;
+mod model;
+mod naive_bayes;
+pub mod nn;
+pub mod select;
+mod svm;
+mod threshold;
+pub mod tree;
+
+pub use error::MlError;
+pub use forest::RandomForest;
+pub use gbdt::Gbdt;
+pub use logistic::LogisticRegression;
+pub use model::Classifier;
+pub use naive_bayes::GaussianNb;
+pub use nn::CnnLstm;
+pub use svm::LinearSvm;
+pub use threshold::{ThresholdDetector, ThresholdRule};
+pub use tree::{DecisionTree, MaxFeatures, TreeParams};

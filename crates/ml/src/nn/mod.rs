@@ -1,0 +1,18 @@
+//! Minimal neural-network stack for the CNN_LSTM model (§III-C(4)).
+//!
+//! The paper's fifth algorithm is a CNN_LSTM: a 1-D convolution over the
+//! time axis of a per-drive telemetry window, an LSTM over the convolved
+//! sequence, and a dense sigmoid head. This module implements exactly
+//! that, from scratch: [`param::Param`] flat parameter tensors with Adam
+//! state, [`dense::Dense`], [`conv1d::Conv1d`] and [`lstm::Lstm`] layers
+//! with hand-derived backward passes, and the [`CnnLstm`] classifier that
+//! wires them together and implements [`crate::Classifier`] over rows
+//! that are flattened `(steps × features)` sequences.
+
+pub mod conv1d;
+mod cnn_lstm;
+pub mod dense;
+pub mod lstm;
+pub mod param;
+
+pub use cnn_lstm::CnnLstm;

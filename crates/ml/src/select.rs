@@ -1,0 +1,168 @@
+//! Sequential forward selection (Whitney 1971), the paper's feature
+//! selection algorithm (§III-C(5), Fig 17).
+//!
+//! Starting from the empty subset, the feature whose addition maximises a
+//! caller-supplied score is added greedily; selection stops when no
+//! addition improves the score by at least the configured margin (or the
+//! feature budget is exhausted). The full trace is returned so Fig 17's
+//! improvement curve can be plotted.
+
+/// One step of the selection trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfsStep {
+    /// The feature added at this step.
+    pub added: usize,
+    /// The score of the subset after adding it.
+    pub score: f64,
+    /// The subset after this step (in selection order).
+    pub subset: Vec<usize>,
+}
+
+/// Result of a sequential forward selection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfsResult {
+    /// The selected subset in selection order.
+    pub selected: Vec<usize>,
+    /// The final score.
+    pub best_score: f64,
+    /// Every accepted step, in order.
+    pub trace: Vec<SfsStep>,
+}
+
+/// Runs sequential forward selection over `n_features` features.
+///
+/// `eval` scores a candidate subset (higher is better, e.g. validation
+/// AUC); it is called `O(n_features²)` times. `min_improvement` is the
+/// score gain an addition must provide to be accepted; `max_features`
+/// bounds the subset size (use `n_features` for no bound).
+///
+/// Returns an empty selection if `n_features == 0` or nothing clears the
+/// improvement bar on the first step.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_ml::select::sequential_forward_selection;
+///
+/// // Feature 2 alone scores 0.9; adding feature 0 reaches 1.0; feature 1
+/// // is useless.
+/// let score = |s: &[usize]| -> f64 {
+///     let mut v: f64 = 0.0;
+///     if s.contains(&2) { v += 0.9; }
+///     if s.contains(&0) { v += 0.1; }
+///     v
+/// };
+/// let r = sequential_forward_selection(3, score, 3, 1e-6);
+/// assert_eq!(r.selected, vec![2, 0]);
+/// assert!((r.best_score - 1.0).abs() < 1e-12);
+/// ```
+pub fn sequential_forward_selection<F>(
+    n_features: usize,
+    mut eval: F,
+    max_features: usize,
+    min_improvement: f64,
+) -> SfsResult
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    let mut selected: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = (0..n_features).collect();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut trace = Vec::new();
+
+    while !remaining.is_empty() && selected.len() < max_features {
+        let mut round_best: Option<(usize, f64)> = None;
+        for (pos, &candidate) in remaining.iter().enumerate() {
+            let mut subset = selected.clone();
+            subset.push(candidate);
+            let score = eval(&subset);
+            if round_best.is_none_or(|(_, s)| score > s) {
+                round_best = Some((pos, score));
+            }
+        }
+        let (pos, score) = round_best.expect("remaining is non-empty");
+        let improvement = if best_score.is_finite() { score - best_score } else { score };
+        if improvement < min_improvement {
+            break;
+        }
+        let feature = remaining.remove(pos);
+        selected.push(feature);
+        best_score = score;
+        trace.push(SfsStep { added: feature, score, subset: selected.clone() });
+    }
+
+    if best_score.is_infinite() {
+        best_score = 0.0;
+    }
+    SfsResult { selected, best_score, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_best_single_feature_first() {
+        // Additive scores: f0 = 0.3, f1 = 0.5, f2 = 0.1.
+        let weights = [0.3, 0.5, 0.1];
+        let r = sequential_forward_selection(
+            3,
+            |s| s.iter().map(|&i| weights[i]).sum(),
+            3,
+            1e-9,
+        );
+        assert_eq!(r.selected, vec![1, 0, 2]);
+        assert!((r.best_score - 0.9).abs() < 1e-12);
+        assert_eq!(r.trace.len(), 3);
+        // Scores along the trace increase.
+        for w in r.trace.windows(2) {
+            assert!(w[1].score > w[0].score);
+        }
+    }
+
+    #[test]
+    fn stops_when_no_improvement() {
+        // Only feature 0 matters; the rest add exactly nothing.
+        let r = sequential_forward_selection(
+            4,
+            |s| if s.contains(&0) { 1.0 } else { 0.0 },
+            4,
+            1e-6,
+        );
+        assert_eq!(r.selected, vec![0]);
+        assert_eq!(r.trace.len(), 1);
+    }
+
+    #[test]
+    fn respects_max_features() {
+        let r = sequential_forward_selection(10, |s| s.len() as f64, 3, 1e-9);
+        assert_eq!(r.selected.len(), 3);
+    }
+
+    #[test]
+    fn redundant_features_skipped() {
+        // f0 and f1 are perfectly redundant; only one is selected.
+        let score = |s: &[usize]| -> f64 {
+            let has_signal = s.contains(&0) || s.contains(&1);
+            let extra = if s.contains(&2) { 0.2 } else { 0.0 };
+            if has_signal { 0.8 + extra } else { extra }
+        };
+        let r = sequential_forward_selection(3, score, 3, 1e-6);
+        assert_eq!(r.selected.len(), 2);
+        assert!(r.selected.contains(&2));
+        assert!((r.best_score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_features_is_empty() {
+        let r = sequential_forward_selection(0, |_| 1.0, 3, 0.0);
+        assert!(r.selected.is_empty());
+        assert_eq!(r.best_score, 0.0);
+    }
+
+    #[test]
+    fn negative_first_scores_below_margin_select_nothing() {
+        let r = sequential_forward_selection(2, |_| -1.0, 2, 0.0);
+        assert!(r.selected.is_empty());
+    }
+}

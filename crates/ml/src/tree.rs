@@ -1,0 +1,457 @@
+//! CART decision trees.
+//!
+//! One tree implementation serves both the Random Forest (classification:
+//! for binary 0/1 targets, minimising weighted squared error is identical
+//! to minimising Gini impurity, since `Var = p(1−p) = Gini/2`) and GBDT
+//! (regression on gradients with Newton leaf values `Σg / Σh`).
+
+use mfpa_dataset::Matrix;
+use serde::{Deserialize, Serialize};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
+use crate::model::Classifier;
+
+/// How many candidate features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// All features (classic CART).
+    All,
+    /// `ceil(sqrt(n))` random features (Random-Forest default).
+    Sqrt,
+    /// `ceil(log2(n))` random features.
+    Log2,
+    /// An explicit count (clamped to `[1, n]`).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete count for `n_features` features.
+    pub fn resolve(self, n_features: usize) -> usize {
+        let n = n_features.max(1);
+        match self {
+            MaxFeatures::All => n,
+            MaxFeatures::Sqrt => (n as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (n as f64).log2().ceil().max(1.0) as usize,
+            MaxFeatures::Count(c) => c.clamp(1, n),
+        }
+    }
+}
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be split further.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split.
+    pub max_features: MaxFeatures,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+        }
+    }
+}
+
+const LEAF: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// Split feature, or [`LEAF`].
+    feature: u32,
+    /// Split threshold: `value <= threshold` goes left.
+    threshold: f64,
+    left: u32,
+    right: u32,
+    /// Leaf prediction (mean target / Newton value); also kept on inner
+    /// nodes for debugging.
+    value: f64,
+}
+
+/// A CART decision tree for binary classification or regression.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_dataset::Matrix;
+/// use mfpa_ml::{Classifier, DecisionTree, TreeParams};
+///
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![0.2], vec![0.9], vec![1.0], vec![1.1],
+/// ]).unwrap();
+/// let y = [false, false, false, true, true, true];
+/// let mut t = DecisionTree::new(TreeParams::default());
+/// t.fit(&x, &y)?;
+/// assert_eq!(t.predict(&x)?, y);
+/// # Ok::<(), mfpa_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    params: TreeParams,
+    seed: u64,
+    nodes: Vec<Node>,
+    n_features: Option<usize>,
+    importances: Vec<f64>,
+}
+
+struct BuildCtx<'a> {
+    x: &'a Matrix,
+    targets: &'a [f64],
+    hessians: Option<&'a [f64]>,
+    params: TreeParams,
+    rng: StdRng,
+    feature_pool: Vec<usize>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn new(params: TreeParams) -> Self {
+        DecisionTree { params, seed: 0, nodes: Vec::new(), n_features: None, importances: Vec::new() }
+    }
+
+    /// Sets the RNG seed used for feature subsampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-feature split-gain importances, normalised to sum to 1
+    /// (all zeros if the tree is a single leaf).
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Fits the tree as a regressor on `targets`, with optional per-sample
+    /// `hessians` for Newton leaf values `Σtarget / Σhessian` (GBDT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] or [`MlError::LabelMismatch`]
+    /// for degenerate inputs.
+    pub fn fit_regression(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        hessians: Option<&[f64]>,
+    ) -> Result<(), MlError> {
+        if x.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if targets.len() != x.n_rows() {
+            return Err(MlError::LabelMismatch { rows: x.n_rows(), labels: targets.len() });
+        }
+        if let Some(h) = hessians {
+            if h.len() != x.n_rows() {
+                return Err(MlError::LabelMismatch { rows: x.n_rows(), labels: h.len() });
+            }
+        }
+        self.nodes.clear();
+        self.importances = vec![0.0; x.n_cols()];
+        self.n_features = Some(x.n_cols());
+        let mut ctx = BuildCtx {
+            x,
+            targets,
+            hessians,
+            params: self.params,
+            rng: StdRng::seed_from_u64(self.seed),
+            feature_pool: (0..x.n_cols()).collect(),
+        };
+        let all: Vec<usize> = (0..x.n_rows()).collect();
+        self.build(&mut ctx, all, 0);
+        let total: f64 = self.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut self.importances {
+                *imp /= total;
+            }
+        }
+        Ok(())
+    }
+
+    /// Predicts the raw tree value for each row (class-probability for
+    /// classification fits, regression value otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] / [`MlError::FeatureMismatch`].
+    pub fn predict_values(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        check_predict_inputs(x, self.n_features)?;
+        Ok(x.rows().map(|row| self.predict_row(row)).collect())
+    }
+
+    /// Predicts the raw tree value for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "tree is not fitted");
+        let mut ix = 0usize;
+        loop {
+            let node = &self.nodes[ix];
+            if node.feature == LEAF {
+                return node.value;
+            }
+            ix = if row[node.feature as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Depth of the fitted tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_at(nodes: &[Node], ix: usize) -> usize {
+            let n = &nodes[ix];
+            if n.feature == LEAF {
+                0
+            } else {
+                1 + depth_at(nodes, n.left as usize).max(depth_at(nodes, n.right as usize))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_at(&self.nodes, 0)
+        }
+    }
+
+    fn build(&mut self, ctx: &mut BuildCtx<'_>, indices: Vec<usize>, depth: usize) -> u32 {
+        let node_ix = self.nodes.len() as u32;
+        let sum_t: f64 = indices.iter().map(|&i| ctx.targets[i]).sum();
+        let sum_h: f64 = match ctx.hessians {
+            Some(h) => indices.iter().map(|&i| h[i]).sum(),
+            None => indices.len() as f64,
+        };
+        let value = if sum_h.abs() > 1e-12 { sum_t / sum_h } else { 0.0 };
+        self.nodes.push(Node { feature: LEAF, threshold: 0.0, left: 0, right: 0, value });
+
+        if depth >= ctx.params.max_depth || indices.len() < ctx.params.min_samples_split {
+            return node_ix;
+        }
+        // Pure node (zero SSE): nothing left to explain.
+        let sum_sq: f64 = indices.iter().map(|&i| ctx.targets[i] * ctx.targets[i]).sum();
+        let node_sse = sum_sq - sum_t * sum_t / indices.len() as f64;
+        if node_sse < 1e-12 {
+            return node_ix;
+        }
+        let Some(split) = self.best_split(ctx, &indices) else {
+            return node_ix;
+        };
+
+        self.importances[split.feature] += split.gain;
+        let (left_ix, right_ix): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| ctx.x.get(i, split.feature) <= split.threshold);
+        let left = self.build(ctx, left_ix, depth + 1);
+        let right = self.build(ctx, right_ix, depth + 1);
+        let node = &mut self.nodes[node_ix as usize];
+        node.feature = split.feature as u32;
+        node.threshold = split.threshold;
+        node.left = left;
+        node.right = right;
+        node_ix
+    }
+
+    fn best_split(&self, ctx: &mut BuildCtx<'_>, indices: &[usize]) -> Option<Split> {
+        let n_candidates = ctx.params.max_features.resolve(ctx.feature_pool.len());
+        ctx.feature_pool.shuffle(&mut ctx.rng);
+        let candidates: Vec<usize> = ctx.feature_pool[..n_candidates].to_vec();
+
+        let total_sum: f64 = indices.iter().map(|&i| ctx.targets[i]).sum();
+        let total_n = indices.len() as f64;
+        let parent_score = total_sum * total_sum / total_n;
+
+        let mut best: Option<Split> = None;
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+        for feature in candidates {
+            pairs.clear();
+            pairs.extend(indices.iter().map(|&i| (ctx.x.get(i, feature), ctx.targets[i])));
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if pairs.first().map(|p| p.0) == pairs.last().map(|p| p.0) {
+                continue; // constant feature in this node
+            }
+            let mut left_sum = 0.0;
+            let mut left_n = 0.0;
+            for w in 0..pairs.len() - 1 {
+                left_sum += pairs[w].1;
+                left_n += 1.0;
+                if pairs[w].0 == pairs[w + 1].0 {
+                    continue; // can only split between distinct values
+                }
+                let right_n = total_n - left_n;
+                if (left_n as usize) < ctx.params.min_samples_leaf
+                    || (right_n as usize) < ctx.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                // Maximising Σ²/n of the children == minimising child SSE.
+                let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                // Zero-gain splits are accepted on impure nodes (the
+                // caller has already checked impurity): patterns like XOR
+                // have no first-split gain yet are learnable.
+                let gain = (score - parent_score).max(0.0);
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(Split {
+                        feature,
+                        threshold: 0.5 * (pairs[w].0 + pairs[w + 1].0),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[derive(Debug)]
+struct Split {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) -> Result<(), MlError> {
+        check_fit_inputs(x, y)?;
+        let targets: Vec<f64> = y.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        self.fit_regression(x, &targets, None)
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        Ok(self.predict_values(x)?.into_iter().map(|v| v.clamp(0.0, 1.0)).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<bool>) {
+        // XOR needs depth >= 2 and is unlearnable by a linear model.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for k in 0..5 {
+                rows.push(vec![a + 0.01 * k as f64, b - 0.01 * k as f64]);
+                y.push((a > 0.5) != (b > 0.5));
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_single_leaf() {
+        let (x, y) = xor_data();
+        let mut t =
+            DecisionTree::new(TreeParams { max_depth: 0, ..TreeParams::default() });
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.depth(), 0);
+        // Leaf predicts the base rate.
+        let p = t.predict_proba(&x).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = [false, false, true, true];
+        let mut t = DecisionTree::new(TreeParams {
+            min_samples_leaf: 2,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y).unwrap();
+        // Only the middle split satisfies the leaf minimum; tree is a stump.
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn importances_normalised() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&x, &y).unwrap();
+        let sum: f64 = t.feature_importances().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_with_newton_leaves() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![1.0], vec![1.0]]).unwrap();
+        let grads = [0.4, 0.6, -0.2, -0.4];
+        let hess = [0.5, 0.5, 0.5, 0.5];
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit_regression(&x, &grads, Some(&hess)).unwrap();
+        let v = t.predict_values(&x).unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-9); // (0.4+0.6)/(0.5+0.5)
+        assert!((v[2] + 0.6).abs() < 1e-9); // (-0.6)/(1.0)
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(45), 45);
+        assert_eq!(MaxFeatures::Sqrt.resolve(45), 7);
+        assert_eq!(MaxFeatures::Log2.resolve(45), 6);
+        assert_eq!(MaxFeatures::Count(100).resolve(45), 45);
+        assert_eq!(MaxFeatures::Count(0).resolve(45), 1);
+        assert_eq!(MaxFeatures::Log2.resolve(1), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_with_subsampled_features() {
+        let (x, y) = xor_data();
+        let params = TreeParams { max_features: MaxFeatures::Count(1), ..TreeParams::default() };
+        let mut a = DecisionTree::new(params).with_seed(3);
+        let mut b = DecisionTree::new(params).with_seed(3);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]).unwrap();
+        let y = [true, false, true];
+        let mut t = DecisionTree::new(TreeParams::default());
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        let mut t = DecisionTree::new(TreeParams::default());
+        assert_eq!(t.fit(&Matrix::with_cols(2), &[]), Err(MlError::EmptyTrainingSet));
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(t.predict_values(&x).is_err()); // not fitted
+    }
+}

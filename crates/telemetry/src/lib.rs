@@ -1,0 +1,45 @@
+//! Domain types for consumer SSD telemetry.
+//!
+//! This crate defines the vocabulary shared by the whole MFPA reproduction:
+//! the 16 SMART attributes reported for consumer M.2 NVMe SSDs (Table II of
+//! the paper), the Windows event IDs (Table III) and BlueScreenOfDeath stop
+//! codes (Table IV) that were found to be early signals of SSD failure, the
+//! firmware-version naming schemes of the four anonymised vendors, the
+//! drive/vendor/model taxonomy of the studied fleet (Table VI), the daily
+//! telemetry record schema, and the RaSRF trouble-ticket taxonomy (Table I).
+//!
+//! Everything here is plain data: the synthetic fleet generator lives in
+//! `mfpa-fleetsim` and the learning pipeline in `mfpa-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use mfpa_telemetry::{SmartAttr, Vendor, WindowsEventId, BsodCode};
+//!
+//! assert_eq!(SmartAttr::ALL.len(), 16);
+//! assert_eq!(WindowsEventId::ALL.len(), 9);
+//! assert_eq!(BsodCode::ALL.len(), 23);
+//! assert_eq!(Vendor::ALL.len(), 4);
+//! assert_eq!(SmartAttr::PowerOnHours.name(), "Power On Hours");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod bsod;
+mod drive;
+mod firmware;
+mod record;
+mod smart;
+mod ticket;
+mod time;
+mod windows_event;
+
+pub use bsod::BsodCode;
+pub use drive::{Capacity, DriveModel, SerialNumber, Vendor};
+pub use firmware::{FirmwareNaming, FirmwareVersion};
+pub use record::{DailyRecord, DriveHistory};
+pub use smart::{SmartAttr, SmartValues};
+pub use ticket::{FailureCause, FailureLevel, TroubleTicket};
+pub use time::DayStamp;
+pub use windows_event::WindowsEventId;

@@ -1,0 +1,15 @@
+//! Umbrella crate for the MFPA reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it re-exports the public
+//! crates so examples can use a single import root.
+//!
+//! See [`mfpa_core`] for the paper's contribution (the MFPA pipeline),
+//! [`mfpa_fleetsim`] for the synthetic consumer-storage-system substrate,
+//! and [`mfpa_ml`] for the from-scratch ML library.
+
+pub use mfpa_core as core;
+pub use mfpa_dataset as dataset;
+pub use mfpa_fleetsim as fleetsim;
+pub use mfpa_ml as ml;
+pub use mfpa_telemetry as telemetry;

@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithms: metrics, splits, samplers, encoders, preprocessing and
+//! day arithmetic.
+
+use std::collections::HashSet;
+
+use mfpa_core::preprocess::{preprocess, PreprocessConfig};
+use mfpa_dataset::cv::{folds_chronologically_sound, kfold, time_series_cv};
+use mfpa_dataset::split::{is_chronologically_sound, ratio_split, timepoint_split};
+use mfpa_dataset::{LabelEncoder, Matrix, RandomUnderSampler, StandardScaler};
+use mfpa_ml::metrics::{auc, roc_curve, ConfusionMatrix};
+use mfpa_telemetry::{
+    DailyRecord, DayStamp, DriveHistory, DriveModel, FirmwareVersion, SerialNumber,
+    SmartValues, Vendor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn auc_is_bounded_and_flip_symmetric(
+        scores in prop::collection::vec(0.0f64..1.0, 2..60),
+        labels in prop::collection::vec(any::<bool>(), 2..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let a = auc(labels, scores);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Negating scores mirrors the AUC around 0.5 (when both classes
+        // are present).
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        if n_pos > 0 && n_pos < n {
+            let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+            prop_assert!((auc(labels, &neg) - (1.0 - a)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_rates_consistent(
+        y_true in prop::collection::vec(any::<bool>(), 1..80),
+        y_pred in prop::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let n = y_true.len().min(y_pred.len());
+        let cm = ConfusionMatrix::from_labels(&y_true[..n], &y_pred[..n]);
+        prop_assert_eq!(cm.total() as usize, n);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.tpr()));
+        prop_assert!((0.0..=1.0).contains(&cm.fpr()));
+        // TPR + miss rate over positives is exactly 1 when positives exist.
+        if cm.tp + cm.fn_ > 0 {
+            let miss = cm.fn_ as f64 / (cm.tp + cm.fn_) as f64;
+            prop_assert!((cm.tpr() + miss - 1.0).abs() < 1e-12);
+        }
+        // PDR is between FPR-share and TPR-share bounds.
+        prop_assert!(cm.pdr() <= 1.0);
+    }
+
+    #[test]
+    fn roc_curve_monotone(
+        scores in prop::collection::vec(0.0f64..1.0, 2..50),
+        labels in prop::collection::vec(any::<bool>(), 2..50),
+    ) {
+        let n = scores.len().min(labels.len());
+        let curve = roc_curve(&labels[..n], &scores[..n]);
+        prop_assert_eq!(curve.first().copied(), Some((0.0, 0.0)));
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 - 1e-12);
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ratio_split_partitions_indices(n in 2usize..200, frac in 0.05f64..0.95, seed: u64) {
+        let s = ratio_split(n, frac, seed).unwrap();
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        prop_assert!(!s.train.is_empty() && !s.test.is_empty());
+    }
+
+    #[test]
+    fn timepoint_split_is_always_sound(
+        times in prop::collection::vec(-500i64..500, 1..120),
+        boundary in -500i64..500,
+    ) {
+        let s = timepoint_split(&times, boundary);
+        prop_assert!(is_chronologically_sound(&s, &times));
+        prop_assert_eq!(s.train.len() + s.test.len(), times.len());
+    }
+
+    #[test]
+    fn time_series_cv_never_trains_on_future(
+        times in prop::collection::vec(0i64..300, 8..100),
+        k in 1usize..4,
+    ) {
+        prop_assume!(times.len() >= 2 * k);
+        let folds = time_series_cv(&times, k).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        prop_assert!(folds_chronologically_sound(&folds, &times));
+    }
+
+    #[test]
+    fn kfold_validation_sets_partition(n in 4usize..120, k in 2usize..4, seed: u64) {
+        prop_assume!(k <= n);
+        let folds = kfold(n, k, seed).unwrap();
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.validate.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn undersampler_respects_ratio(
+        pos in 1usize..40,
+        neg in 0usize..400,
+        ratio in 0.5f64..8.0,
+        seed: u64,
+    ) {
+        let mut labels = vec![true; pos];
+        labels.extend(vec![false; neg]);
+        let kept = RandomUnderSampler::new(ratio, seed).unwrap().sample(&labels);
+        let kept_pos = kept.iter().filter(|&&i| labels[i]).count();
+        let kept_neg = kept.len() - kept_pos;
+        prop_assert_eq!(kept_pos, pos);
+        let want = ((pos as f64) * ratio).round() as usize;
+        prop_assert_eq!(kept_neg, want.min(neg));
+        // No duplicates.
+        let unique: HashSet<usize> = kept.iter().copied().collect();
+        prop_assert_eq!(unique.len(), kept.len());
+    }
+
+    #[test]
+    fn label_encoder_roundtrips(values in prop::collection::vec("[a-z]{1,6}", 1..50)) {
+        let mut enc = LabelEncoder::new();
+        let codes = enc.fit_transform(values.clone());
+        for (v, c) in values.iter().zip(&codes) {
+            prop_assert_eq!(enc.transform(v), Some(*c));
+            prop_assert_eq!(enc.inverse(*c), Some(v));
+        }
+        prop_assert!(enc.n_categories() <= values.len());
+    }
+
+    #[test]
+    fn scaler_output_is_centred(rows in prop::collection::vec(
+        prop::collection::vec(-1e6f64..1e6, 3), 2..40,
+    )) {
+        let x = Matrix::from_rows(&rows).unwrap();
+        let (_, scaled) = StandardScaler::fit_transform(&x).unwrap();
+        for c in 0..3 {
+            let col = scaled.column(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "column {} mean {}", c, mean);
+        }
+    }
+
+    #[test]
+    fn day_stamp_arithmetic(base in -10_000i64..10_000, delta in -5_000i64..5_000) {
+        let d = DayStamp::new(base);
+        prop_assert_eq!((d + delta) - delta, d);
+        prop_assert_eq!((d + delta) - d, delta);
+        prop_assert_eq!(d.days_before(delta), d + (-delta));
+    }
+
+    #[test]
+    fn preprocess_never_emits_long_gaps(
+        day_set in prop::collection::btree_set(0i64..120, 1..60),
+        drop_gap in 4i64..15,
+        fill_gap in 0i64..4,
+    ) {
+        let days: Vec<i64> = day_set.into_iter().collect();
+        let records: Vec<DailyRecord> = days.iter().map(|&d| DailyRecord {
+            day: DayStamp::new(d),
+            smart: SmartValues::default(),
+            firmware: FirmwareVersion::new(Vendor::II, 1),
+            w_counts: [0; 9],
+            b_counts: [0; 23],
+        }).collect();
+        let history = DriveHistory::new(
+            SerialNumber::new(Vendor::II, 1), DriveModel::ALL[3], records,
+        );
+        let cfg = PreprocessConfig {
+            drop_gap,
+            fill_gap,
+            min_len: 1,
+            cumulative_events: true,
+        };
+        if let Some(s) = preprocess(&history, &FirmwareVersion::new(Vendor::II, 1), &cfg) {
+            // Surviving series: ascending days, no gap ≥ drop_gap, and
+            // every gap ≤ fill_gap has been filled (so no gap in
+            // (1, fill_gap] remains).
+            for w in s.days.windows(2) {
+                let gap = w[1] - w[0];
+                prop_assert!(gap >= 1);
+                prop_assert!(gap < drop_gap);
+                prop_assert!(gap == 1 || gap > fill_gap);
+            }
+            prop_assert_eq!(s.days.len(), s.rows.len());
+        }
+    }
+}

@@ -38,7 +38,9 @@ fn bench_pipeline(c: &mut Criterion) {
                 .unwrap();
         b.iter(|| {
             let trained = mfpa.train_rows(&prepared, &split.train).unwrap();
-            let report = trained.evaluate_rows(&prepared, &split.test, "bench").unwrap();
+            let report = trained
+                .evaluate_rows(&prepared, &split.test, "bench")
+                .unwrap();
             black_box(report.drive.auc)
         })
     });

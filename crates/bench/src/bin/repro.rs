@@ -38,17 +38,31 @@ fn parse_args() -> Result<Args, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--seed" => args.seed = grab("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--fraction" => {
-                args.fraction =
-                    Some(grab("--fraction")?.parse().map_err(|e| format!("--fraction: {e}"))?)
+                args.fraction = Some(
+                    grab("--fraction")?
+                        .parse()
+                        .map_err(|e| format!("--fraction: {e}"))?,
+                )
             }
             "--boost" => {
-                args.boost = Some(grab("--boost")?.parse().map_err(|e| format!("--boost: {e}"))?)
+                args.boost = Some(
+                    grab("--boost")?
+                        .parse()
+                        .map_err(|e| format!("--boost: {e}"))?,
+                )
             }
             "--horizon" => {
-                args.horizon =
-                    Some(grab("--horizon")?.parse().map_err(|e| format!("--horizon: {e}"))?)
+                args.horizon = Some(
+                    grab("--horizon")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
             }
             "--json" => args.json_path = Some(grab("--json")?),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),

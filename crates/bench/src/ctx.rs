@@ -18,7 +18,10 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context from the base fleet configuration.
     pub fn new(base: FleetConfig) -> Self {
-        Ctx { base, fleet: OnceLock::new() }
+        Ctx {
+            base,
+            fleet: OnceLock::new(),
+        }
     }
 
     /// The base fleet configuration (seed + scale knobs).

@@ -17,7 +17,14 @@ pub fn ablate_gaps(ctx: &Ctx) -> serde_json::Value {
     let fleet = ctx.fleet();
     section("Ablation — gap handling (drop_gap / fill_gap)");
     let mut rows = Vec::new();
-    for (drop_gap, fill_gap) in [(5i64, 3i64), (10, 0), (10, 3), (10, 7), (20, 3), (10_000, 3)] {
+    for (drop_gap, fill_gap) in [
+        (5i64, 3i64),
+        (10, 0),
+        (10, 3),
+        (10, 7),
+        (20, 3),
+        (10_000, 3),
+    ] {
         let mut cfg = rf_config();
         cfg.preprocess.drop_gap = drop_gap;
         cfg.preprocess.fill_gap = fill_gap;
@@ -45,7 +52,11 @@ pub fn ablate_cumsum(ctx: &Ctx) -> serde_json::Value {
         let mut cfg = rf_config();
         cfg.preprocess.cumulative_events = cumulative;
         let r = Mfpa::new(cfg).run(fleet).expect("run");
-        let label = if cumulative { "cumulative (paper)" } else { "daily counts" };
+        let label = if cumulative {
+            "cumulative (paper)"
+        } else {
+            "daily counts"
+        };
         println!("  {}", metric_row(label, &r));
         rows.push(json!({ "cumulative": cumulative, "report": report_json(&r) }));
     }

@@ -15,7 +15,11 @@ pub fn table1(ctx: &Ctx) -> serde_json::Value {
     let total = fleet.tickets().len() as f64;
     let mut rows = Vec::new();
     for cause in FailureCause::ALL {
-        let n = fleet.tickets().iter().filter(|t| t.cause() == cause).count();
+        let n = fleet
+            .tickets()
+            .iter()
+            .filter(|t| t.cause() == cause)
+            .count();
         let measured = n as f64 / total * 100.0;
         println!(
             "  {:<13} {:<34} measured {:>6.2}%  paper {:>6.2}%",
@@ -101,7 +105,13 @@ pub fn fig2(ctx: &Ctx) -> serde_json::Value {
     for (i, &c) in counts.iter().enumerate() {
         let lo = max / bins as f64 * i as f64;
         let hi = max / bins as f64 * (i + 1) as f64;
-        println!("  {:>6.0}-{:<6.0} h {:>5} {}", lo, hi, c, bar(c as f64, peak, 40));
+        println!(
+            "  {:>6.0}-{:<6.0} h {:>5} {}",
+            lo,
+            hi,
+            c,
+            bar(c as f64, peak, 40)
+        );
     }
     // Raw counts are blurred by exposure (few very-young and very-old
     // drive-days exist); the clean bathtub is the empirical hazard:
@@ -127,7 +137,13 @@ pub fn fig2(ctx: &Ctx) -> serde_json::Value {
     }
     let peak = hazard.iter().map(|&(_, h)| h).fold(0.0f64, f64::max);
     for &(age, h) in &hazard {
-        println!("  age {:>4}-{:<4} d {:>8.1} {}", age, age + bucket, h, bar(h, peak, 40));
+        println!(
+            "  age {:>4}-{:<4} d {:>8.1} {}",
+            age,
+            age + bucket,
+            h,
+            bar(h, peak, 40)
+        );
     }
     // Bathtub check on the hazard: both ends elevated vs the useful-life
     // floor (the minimum bucket).
@@ -155,7 +171,11 @@ pub fn fig3(ctx: &Ctx) -> serde_json::Value {
         .fold(0.0f64, f64::max)
         .max(1e-9);
     for vendor in Vendor::ALL {
-        for fs in fleet.firmware_stats().iter().filter(|f| f.firmware.vendor() == vendor) {
+        for fs in fleet
+            .firmware_stats()
+            .iter()
+            .filter(|f| f.firmware.vendor() == vendor)
+        {
             println!(
                 "  {:<7} (raw {:<6}) pop {:>7} fail {:>5} rate {:>7} {}",
                 fs.firmware.label(),
@@ -199,7 +219,13 @@ pub fn fig6(ctx: &Ctx) -> serde_json::Value {
             gap_hist[ix] += 1;
         }
     }
-    let labels = ["1d (continuous)", "2-3d (fillable)", "4-9d (tolerated)", "10-19d (dropped)", "20d+ (dropped)"];
+    let labels = [
+        "1d (continuous)",
+        "2-3d (fillable)",
+        "4-9d (tolerated)",
+        "10-19d (dropped)",
+        "20d+ (dropped)",
+    ];
     let peak = *gap_hist.iter().max().unwrap_or(&1) as f64;
     for (label, &n) in labels.iter().zip(&gap_hist) {
         println!("  {:<18} {:>6} {}", label, n, bar(n as f64, peak, 40));
@@ -207,9 +233,19 @@ pub fn fig6(ctx: &Ctx) -> serde_json::Value {
     // Paper-style per-drive examples (first three faulty drives).
     let mut examples = Vec::new();
     for (i, d) in faulty.iter().take(3).enumerate() {
-        let days: Vec<i64> = d.history().observed_days().iter().map(|d| d.day()).collect();
+        let days: Vec<i64> = d
+            .history()
+            .observed_days()
+            .iter()
+            .map(|d| d.day())
+            .collect();
         let head: Vec<i64> = days.iter().take(16).copied().collect();
-        println!("  F{} observed days: {:?}{}", i + 1, head, if days.len() > 16 { " …" } else { "" });
+        println!(
+            "  F{} observed days: {:?}{}",
+            i + 1,
+            head,
+            if days.len() > 16 { " …" } else { "" }
+        );
         examples.push(json!({ "drive": format!("F{}", i + 1), "days": days }));
     }
     json!({ "gap_histogram": gap_hist.to_vec(), "n_faulty_vendor_i": faulty.len(), "examples": examples })

@@ -16,7 +16,11 @@ pub fn table2(_ctx: &Ctx) -> serde_json::Value {
             "  {:<5} {:<42} {}",
             attr.to_string(),
             attr.name(),
-            if attr.is_cumulative() { "(cumulative)" } else { "(gauge)" }
+            if attr.is_cumulative() {
+                "(cumulative)"
+            } else {
+                "(gauge)"
+            }
         );
     }
     json!({
@@ -47,7 +51,11 @@ pub fn table4(_ctx: &Ctx) -> serde_json::Value {
             "  {:<7} {:<42} {}",
             code.to_string(),
             code.name(),
-            if code.is_storage_related() { "(storage)" } else { "" }
+            if code.is_storage_related() {
+                "(storage)"
+            } else {
+                ""
+            }
         );
     }
     json!({
@@ -60,15 +68,37 @@ pub fn table4(_ctx: &Ctx) -> serde_json::Value {
 /// Table V: feature-group widths.
 pub fn table5(_ctx: &Ctx) -> serde_json::Value {
     section("Table V — feature groups");
-    println!("  {:<6} {:>6} {:>9} {:>13} {:>18}", "group", "SMART", "Firmware", "WindowsEvent", "BlueScreenOfDeath");
+    println!(
+        "  {:<6} {:>6} {:>9} {:>13} {:>18}",
+        "group", "SMART", "Firmware", "WindowsEvent", "BlueScreenOfDeath"
+    );
     let mut rows = Vec::new();
     for g in FeatureGroup::ALL {
         let feats = g.features();
-        let smart = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::Smart(_))).count();
-        let fw = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::Firmware)).count();
-        let w = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::WinEventCum(_))).count();
-        let b = feats.iter().filter(|f| matches!(f, mfpa_core::FeatureId::BsodCum(_))).count();
-        println!("  {:<6} {:>6} {:>9} {:>13} {:>18}", g.name(), smart, fw, w, b);
+        let smart = feats
+            .iter()
+            .filter(|f| matches!(f, mfpa_core::FeatureId::Smart(_)))
+            .count();
+        let fw = feats
+            .iter()
+            .filter(|f| matches!(f, mfpa_core::FeatureId::Firmware))
+            .count();
+        let w = feats
+            .iter()
+            .filter(|f| matches!(f, mfpa_core::FeatureId::WinEventCum(_)))
+            .count();
+        let b = feats
+            .iter()
+            .filter(|f| matches!(f, mfpa_core::FeatureId::BsodCum(_)))
+            .count();
+        println!(
+            "  {:<6} {:>6} {:>9} {:>13} {:>18}",
+            g.name(),
+            smart,
+            fw,
+            w,
+            b
+        );
         rows.push(json!({"group": g.name(), "smart": smart, "firmware": fw, "w": w, "b": b}));
     }
     json!({ "groups": rows })

@@ -47,7 +47,9 @@ pub fn fig8(ctx: &Ctx) -> serde_json::Value {
     let naive = Mfpa::new(rf_config().with_split(SplitStrategy::Ratio { test_fraction: 0.3 }))
         .run(fleet)
         .expect("naive split run");
-    let timed = Mfpa::new(rf_config()).run(fleet).expect("timepoint split run");
+    let timed = Mfpa::new(rf_config())
+        .run(fleet)
+        .expect("timepoint split run");
     println!("  split (a): {}", metric_row("naive m:n ratio", &naive));
     println!("  split (a): {}", metric_row("timepoint-based", &timed));
     println!("    note: the naive split leaks future data into training — its test");
@@ -82,7 +84,9 @@ pub fn fig8(ctx: &Ctx) -> serde_json::Value {
             let vy: Vec<bool> = fold.validate.iter().map(|&i| y[i]).collect();
             let mut rf = mfpa_ml::RandomForest::new(40, 10).with_seed(5);
             rf.fit(&x.select_rows(&fold.train), &ty).expect("fit");
-            let p = rf.predict_proba(&x.select_rows(&fold.validate)).expect("predict");
+            let p = rf
+                .predict_proba(&x.select_rows(&fold.validate))
+                .expect("predict");
             aucs.push(auc(&vy, &p));
         }
         aucs.iter().sum::<f64>() / aucs.len().max(1) as f64
@@ -217,8 +221,7 @@ pub fn fig17(ctx: &Ctx) -> serde_json::Value {
     let train_split = mfpa_dataset::split::timepoint_split_fraction(&times, 0.7).expect("split");
     let inner_times: Vec<i64> = train_split.train.iter().map(|&i| times[i]).collect();
     let inner = mfpa_dataset::split::timepoint_split_fraction(&inner_times, 0.8).expect("inner");
-    let sfs_train_all: Vec<usize> =
-        inner.train.iter().map(|&i| train_split.train[i]).collect();
+    let sfs_train_all: Vec<usize> = inner.train.iter().map(|&i| train_split.train[i]).collect();
     let sfs_val: Vec<usize> = inner.test.iter().map(|&i| train_split.train[i]).collect();
     // Under-sample the SFS training rows (3:1) — the selection loop fits
     // hundreds of forests, and the pipeline trains balanced anyway.
@@ -250,8 +253,7 @@ pub fn fig17(ctx: &Ctx) -> serde_json::Value {
     // Re-evaluate each trace prefix on the real test split.
     let mut rows = Vec::new();
     for step in &result.trace {
-        let cols: Vec<mfpa_core::FeatureId> =
-            step.subset.iter().map(|&s| features[s]).collect();
+        let cols: Vec<mfpa_core::FeatureId> = step.subset.iter().map(|&s| features[s]).collect();
         let cfg = rf_config().with_custom_columns(cols.clone());
         let r = Mfpa::new(cfg).run(fleet).expect("prefix run");
         println!(
@@ -269,8 +271,11 @@ pub fn fig17(ctx: &Ctx) -> serde_json::Value {
             "report": report_json(&r),
         }));
     }
-    let selected: Vec<String> =
-        result.selected.iter().map(|&s| features[s].to_string()).collect();
+    let selected: Vec<String> = result
+        .selected
+        .iter()
+        .map(|&s| features[s].to_string())
+        .collect();
     println!("  selected subset: {selected:?}");
     println!("  paper: TPR 0.926 → 0.9818, FPR 0.023 → 0.0056 through selection");
     json!({ "rows": rows, "selected": selected })
@@ -326,11 +331,28 @@ pub fn fig20(ctx: &Ctx) -> serde_json::Value {
     let r = Mfpa::new(rf_config()).run(fleet).expect("run");
     let t = &r.timings;
     println!("  {:<22} {:>12} {:>12}", "stage", "items", "seconds");
-    println!("  {:<22} {:>12} {:>12.3}", "feature engineering", t.n_raw_records, t.preprocess_secs);
-    println!("  {:<22} {:>12} {:>12.3}", "θ labelling", "-", t.labeling_secs);
-    println!("  {:<22} {:>12} {:>12.3}", "sample assembly", r.timings.n_train_rows + r.timings.n_test_rows, t.sampling_secs);
-    println!("  {:<22} {:>12} {:>12.3}", "model training", t.n_train_rows, t.train_secs);
-    println!("  {:<22} {:>12} {:>12.3}", "prediction", t.n_test_rows, t.predict_secs);
+    println!(
+        "  {:<22} {:>12} {:>12.3}",
+        "feature engineering", t.n_raw_records, t.preprocess_secs
+    );
+    println!(
+        "  {:<22} {:>12} {:>12.3}",
+        "θ labelling", "-", t.labeling_secs
+    );
+    println!(
+        "  {:<22} {:>12} {:>12.3}",
+        "sample assembly",
+        r.timings.n_train_rows + r.timings.n_test_rows,
+        t.sampling_secs
+    );
+    println!(
+        "  {:<22} {:>12} {:>12.3}",
+        "model training", t.n_train_rows, t.train_secs
+    );
+    println!(
+        "  {:<22} {:>12} {:>12.3}",
+        "prediction", t.n_test_rows, t.predict_secs
+    );
     println!(
         "  sample frames: {:.1} MiB | prediction latency: {:.1} µs/row",
         t.frame_bytes as f64 / (1024.0 * 1024.0),

@@ -1,0 +1,78 @@
+//! Robustness study: how gracefully MFPA degrades when the telemetry
+//! collection path corrupts records, with and without the sanitization
+//! stage ahead of preprocessing.
+//!
+//! Each corruption level regenerates the fleet with the fault injector
+//! enabled at a uniform per-fault rate (sentinel resets, stuck
+//! attributes, counter rollovers, duplicates, out-of-order arrivals,
+//! missing attributes, clock skew — see `mfpa_fleetsim::faults`), then
+//! trains the reference SFWB+RF model twice: once trusting the
+//! collector's view (`sanitize: None`) and once over the sanitized raw
+//! emission stream.
+
+use mfpa_core::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_fleetsim::{FaultConfig, SimulatedFleet};
+use serde_json::json;
+
+use crate::ctx::Ctx;
+use crate::format::{metric_row, report_json, section};
+
+/// Uniform per-fault corruption rates swept by the study.
+const RATES: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
+
+/// Robustness: TPR/FPR degradation under fault injection, sanitize
+/// on vs off.
+pub fn robustness(ctx: &Ctx) -> serde_json::Value {
+    section("Robustness — fault injection × sanitization");
+    let mut rows = Vec::new();
+    for rate in RATES {
+        let config = ctx.base().clone().with_faults(FaultConfig::uniform(rate));
+        let fleet = SimulatedFleet::generate(&config);
+        let injected = fleet.injected_faults().total();
+        println!(
+            "  fault rate {:>5.1}% (injected faults: {injected})",
+            rate * 100.0
+        );
+
+        let base = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest);
+        let mut row = serde_json::Map::new();
+        row.insert("rate".into(), json!(rate));
+        row.insert("injected_faults".into(), json!(injected));
+        for (label, cfg) in [
+            ("sanitize off", base.clone().with_sanitize(None)),
+            ("sanitize on", base),
+        ] {
+            let key = label.replace(' ', "_");
+            match Mfpa::new(cfg).run(&fleet) {
+                Ok(r) => {
+                    let extra = if r.timings.n_quarantined + r.timings.n_repaired > 0 {
+                        format!(
+                            " | quarantined={} repaired={}",
+                            r.timings.n_quarantined, r.timings.n_repaired
+                        )
+                    } else {
+                        String::new()
+                    };
+                    println!("    {}{extra}", metric_row(label, &r));
+                    row.insert(
+                        key,
+                        json!({
+                            "report": report_json(&r),
+                            "n_quarantined": r.timings.n_quarantined,
+                            "n_repaired": r.timings.n_repaired,
+                        }),
+                    );
+                }
+                Err(e) => {
+                    println!("    {label:<28} error: {e}");
+                    row.insert(key, json!({ "error": e.to_string() }));
+                }
+            }
+        }
+        rows.push(serde_json::Value::Object(row));
+    }
+    println!("  note: at 0% corruption the two pipelines are bit-identical; under");
+    println!("  corruption the sanitizer quarantines or repairs the injected faults");
+    println!("  instead of letting them reach the feature rows.");
+    json!({ "rows": rows })
+}

@@ -35,9 +35,7 @@ pub fn tune(ctx: &Ctx) -> serde_json::Value {
         .add("n_trees", &[40.0, 80.0, 120.0])
         .add("max_depth", &[6.0, 10.0, 14.0]);
     let result = grid_search(&grid, &folds, sub.matrix(), &y, |p| {
-        Box::new(
-            RandomForest::new(p["n_trees"] as usize, p["max_depth"] as usize).with_seed(13),
-        )
+        Box::new(RandomForest::new(p["n_trees"] as usize, p["max_depth"] as usize).with_seed(13))
     })
     .expect("grid search");
 

@@ -68,29 +68,21 @@ impl Algorithm {
     /// `features` is the column set the model will see (the threshold
     /// detector needs it to locate the SMART attributes its rules read);
     /// `seq_len` only matters for [`Algorithm::CnnLstm`].
-    pub fn build(
-        self,
-        seed: u64,
-        seq_len: usize,
-        features: &[FeatureId],
-    ) -> Box<dyn Classifier> {
+    pub fn build(self, seed: u64, seq_len: usize, features: &[FeatureId]) -> Box<dyn Classifier> {
         match self {
             Algorithm::Bayes => Box::new(GaussianNb::new().with_log1p(true)),
             Algorithm::Logistic => Box::new(LogisticRegression::new(1e-4, 200)),
             Algorithm::Svm => Box::new(LinearSvm::new(1e-4, 25).with_seed(seed)),
             Algorithm::RandomForest => Box::new(RandomForest::new(120, 12).with_seed(seed)),
-            Algorithm::Gbdt => {
-                Box::new(Gbdt::new(150, 0.1, 3).with_subsample(0.8).with_seed(seed))
-            }
+            Algorithm::Gbdt => Box::new(Gbdt::new(150, 0.1, 3).with_subsample(0.8).with_seed(seed)),
             Algorithm::CnnLstm => Box::new(
                 CnnLstm::new(seq_len, features.len())
                     .with_epochs(25)
                     .with_seed(seed),
             ),
             Algorithm::VendorThreshold => {
-                let find = |attr: SmartAttr| {
-                    features.iter().position(|f| *f == FeatureId::Smart(attr))
-                };
+                let find =
+                    |attr: SmartAttr| features.iter().position(|f| *f == FeatureId::Smart(attr));
                 let mut rules = Vec::new();
                 // The classic vendor trip-wires: exhausted spare, tripped
                 // critical-warning bit, runaway media errors.
@@ -144,7 +136,12 @@ mod tests {
     #[test]
     fn only_cnn_lstm_needs_sequences() {
         assert!(Algorithm::CnnLstm.needs_sequence());
-        for a in [Algorithm::Bayes, Algorithm::Svm, Algorithm::RandomForest, Algorithm::Gbdt] {
+        for a in [
+            Algorithm::Bayes,
+            Algorithm::Svm,
+            Algorithm::RandomForest,
+            Algorithm::Gbdt,
+        ] {
             assert!(!a.needs_sequence());
         }
     }

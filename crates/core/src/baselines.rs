@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn smart_baselines_see_smart_only() {
-        for b in [Baseline::TransferBayes, Baseline::InterpretableLinear, Baseline::LifespanGbdt] {
+        for b in [
+            Baseline::TransferBayes,
+            Baseline::InterpretableLinear,
+            Baseline::LifespanGbdt,
+        ] {
             let cols = b.config(0).selected_features();
             assert!(cols.iter().all(|c| matches!(c, FeatureId::Smart(_))), "{b}");
         }

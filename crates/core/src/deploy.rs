@@ -8,11 +8,12 @@
 //! against a trained MFPA model — no batch pipeline required.
 
 use mfpa_dataset::Matrix;
-use mfpa_telemetry::{BsodCode, DailyRecord, DayStamp, FirmwareVersion, SerialNumber};
+use mfpa_telemetry::{BsodCode, DailyRecord, DayStamp, FirmwareVersion, SerialNumber, SmartAttr};
 
 use crate::error::CoreError;
 use crate::features::{FeatureId, MODEL_W_EVENTS};
 use crate::pipeline::TrainedMfpa;
+use crate::sanitize::{page_violation, QuarantineCause, SanitizeConfig, SanitizeReport};
 
 /// Incremental feature state for one monitored drive.
 ///
@@ -47,12 +48,33 @@ pub struct DriveMonitor {
     w_cum: [u64; 5],
     b_cum: [u64; 23],
     last_day: Option<DayStamp>,
+    sanitize_cfg: SanitizeConfig,
+    // Last accepted (repaired) SMART page: NaN carry-forward source.
+    last_smart: Option<[f64; 16]>,
+    // Rollover base offsets per cumulative attribute.
+    smart_offsets: [f64; 16],
+    // Row returned for the last accepted day — replayed for exact
+    // duplicate deliveries so retransmissions are idempotent.
+    last_row: Vec<f64>,
+    report: SanitizeReport,
 }
 
 impl DriveMonitor {
-    /// Creates a monitor for one drive.
+    /// Creates a monitor for one drive, with the default online
+    /// sanitization policy.
     pub fn new(serial: SerialNumber, firmware: FirmwareVersion) -> Self {
-        DriveMonitor { serial, firmware, w_cum: [0; 5], b_cum: [0; 23], last_day: None }
+        DriveMonitor {
+            serial,
+            firmware,
+            w_cum: [0; 5],
+            b_cum: [0; 23],
+            last_day: None,
+            sanitize_cfg: SanitizeConfig::default(),
+            last_smart: None,
+            smart_offsets: [0.0; 16],
+            last_row: Vec::new(),
+            report: SanitizeReport::default(),
+        }
     }
 
     /// The monitored drive's serial.
@@ -65,23 +87,104 @@ impl DriveMonitor {
         self.last_day
     }
 
+    /// Online-sanitization accounting over this monitor's lifetime:
+    /// quarantined deliveries, imputed attributes, rollover repairs and
+    /// collapsed duplicates.
+    pub fn sanitize_report(&self) -> &SanitizeReport {
+        &self.report
+    }
+
     /// Ingests one daily record and returns the current full feature row
     /// (canonical [`FeatureId::full_row`] order).
     ///
+    /// The monitor applies the same defenses as the offline
+    /// [`crate::sanitize`] stage, restricted to what an online,
+    /// no-lookahead consumer can do: sentinel/range pages are
+    /// quarantined, an exact re-delivery of the newest day is answered
+    /// idempotently with the same row (a retransmission must not double
+    /// the cumulative counters), NaN attributes are filled from the last
+    /// accepted page, and cumulative counters that run backwards are
+    /// spliced with a base offset (rollover repair).
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if the record is out of
-    /// chronological order — cumulative counters cannot run backwards.
+    /// * [`CoreError::OutOfOrderRecord`] for a record *before* the
+    ///   newest ingested day — an online consumer cannot re-sequence.
+    /// * [`CoreError::CorruptRecord`] for quarantined deliveries
+    ///   (sentinel page, out-of-range value, or missing attributes with
+    ///   no history to impute from).
     pub fn ingest(&mut self, record: &DailyRecord) -> Result<Vec<f64>, CoreError> {
+        self.report.input_records += 1;
+        let reference_capacity = self
+            .last_smart
+            .map(|p| p[SmartAttr::Capacity.index()])
+            .filter(|&c| c > 0.0);
+        if let Some(violation) = page_violation(record, reference_capacity, &self.sanitize_cfg) {
+            match violation {
+                QuarantineCause::SentinelReset => self.report.quarantined_sentinel += 1,
+                _ => self.report.quarantined_range += 1,
+            }
+            return Err(CoreError::CorruptRecord {
+                serial: self.serial,
+                day: record.day,
+                cause: violation,
+            });
+        }
         if let Some(last) = self.last_day {
-            if record.day <= last {
-                return Err(CoreError::InvalidConfig(format!(
-                    "record for {} is not after the last ingested day {last}",
-                    record.day
-                )));
+            if record.day == last {
+                // Duplicate delivery of the current day: idempotent.
+                self.report.duplicates_collapsed += 1;
+                return Ok(self.last_row.clone());
+            }
+            if record.day < last {
+                self.report.quarantined_late += 1;
+                return Err(CoreError::OutOfOrderRecord {
+                    serial: self.serial,
+                    day: record.day,
+                    last,
+                });
             }
         }
+
+        // Repair the SMART page: impute NaNs, then splice rollovers.
+        let mut smart = [0.0f64; 16];
+        smart.copy_from_slice(record.smart.as_slice());
+        for (ix, v) in smart.iter_mut().enumerate() {
+            if v.is_nan() {
+                match self.last_smart {
+                    Some(prev) => {
+                        *v = prev[ix];
+                        self.report.values_imputed += 1;
+                    }
+                    None => {
+                        self.report.quarantined_missing += 1;
+                        return Err(CoreError::CorruptRecord {
+                            serial: self.serial,
+                            day: record.day,
+                            cause: QuarantineCause::MissingValues,
+                        });
+                    }
+                }
+            }
+        }
+        for attr in SmartAttr::ALL {
+            if !attr.is_cumulative() {
+                continue;
+            }
+            let ix = attr.index();
+            let adjusted = smart[ix] + self.smart_offsets[ix];
+            let prev = self.last_smart.map_or(f64::NEG_INFINITY, |p| p[ix]);
+            if adjusted < prev {
+                self.smart_offsets[ix] += prev - adjusted;
+                self.report.rollovers_repaired += 1;
+                smart[ix] = prev;
+            } else {
+                smart[ix] = adjusted;
+            }
+        }
+
         self.last_day = Some(record.day);
+        self.last_smart = Some(smart);
         // Firmware updates in the field are tracked as they appear.
         if record.firmware != self.firmware {
             self.firmware = record.firmware.clone();
@@ -92,13 +195,15 @@ impl DriveMonitor {
         for (slot, code) in self.b_cum.iter_mut().zip(BsodCode::ALL) {
             *slot += u64::from(record.b(code));
         }
+        self.report.kept_records += 1;
 
         let mut row = Vec::with_capacity(45);
-        row.extend(record.smart.as_slice());
+        row.extend(smart);
         row.push(self.firmware.encoded());
         row.extend(self.w_cum.iter().map(|&v| v as f64));
         row.extend(self.b_cum.iter().map(|&v| v as f64));
         debug_assert_eq!(row.len(), FeatureId::full_row().len());
+        self.last_row = row.clone();
         Ok(row)
     }
 
@@ -107,22 +212,21 @@ impl DriveMonitor {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for out-of-order records or a
-    /// sequence model (CNN_LSTM needs windows, not single rows), and
-    /// propagates prediction errors.
-    pub fn score(
-        &mut self,
-        record: &DailyRecord,
-        trained: &TrainedMfpa,
-    ) -> Result<f64, CoreError> {
+    /// Returns [`CoreError::UnsupportedModel`] for a sequence model
+    /// (CNN_LSTM needs windows, not single rows), propagates
+    /// [`DriveMonitor::ingest`]'s telemetry errors and prediction errors.
+    pub fn score(&mut self, record: &DailyRecord, trained: &TrainedMfpa) -> Result<f64, CoreError> {
         if trained.uses_sequence() {
-            return Err(CoreError::InvalidConfig(
+            return Err(CoreError::UnsupportedModel(
                 "DriveMonitor scores flat models; sequence models need windowed input".into(),
             ));
         }
         let full = self.ingest(record)?;
-        let selected: Vec<f64> =
-            trained.features().iter().map(|f| full[f.full_index()]).collect();
+        let selected: Vec<f64> = trained
+            .features()
+            .iter()
+            .map(|f| full[f.full_index()])
+            .collect();
         let x = Matrix::from_rows(std::slice::from_ref(&selected))?;
         Ok(trained.predict_matrix(&x)?[0])
     }
@@ -146,7 +250,10 @@ mod tests {
     }
 
     fn monitor() -> DriveMonitor {
-        DriveMonitor::new(SerialNumber::new(Vendor::I, 1), FirmwareVersion::new(Vendor::I, 1))
+        DriveMonitor::new(
+            SerialNumber::new(Vendor::I, 1),
+            FirmwareVersion::new(Vendor::I, 1),
+        )
     }
 
     #[test]
@@ -161,11 +268,90 @@ mod tests {
     }
 
     #[test]
-    fn rejects_out_of_order_records() {
+    fn rejects_out_of_order_records_with_structure() {
         let mut m = monitor();
         m.ingest(&record(5, 0)).unwrap();
-        assert!(matches!(m.ingest(&record(5, 0)), Err(CoreError::InvalidConfig(_))));
-        assert!(matches!(m.ingest(&record(4, 0)), Err(CoreError::InvalidConfig(_))));
+        match m.ingest(&record(4, 0)) {
+            Err(CoreError::OutOfOrderRecord { serial, day, last }) => {
+                assert_eq!(serial, m.serial());
+                assert_eq!(day, DayStamp::new(4));
+                assert_eq!(last, DayStamp::new(5));
+            }
+            other => panic!("expected OutOfOrderRecord, got {other:?}"),
+        }
+        assert_eq!(m.sanitize_report().quarantined_late, 1);
+    }
+
+    #[test]
+    fn duplicate_day_is_idempotent() {
+        let mut m = monitor();
+        let first = m.ingest(&record(5, 2)).unwrap();
+        // A retransmission of the same day must not double the
+        // cumulative counters — the original row is replayed.
+        let replay = m.ingest(&record(5, 2)).unwrap();
+        assert_eq!(first, replay);
+        assert_eq!(m.sanitize_report().duplicates_collapsed, 1);
+        let w161_col = FeatureId::WinEventCum(WindowsEventId::W161).full_index();
+        let next = m.ingest(&record(6, 1)).unwrap();
+        assert_eq!(next[w161_col], 3.0, "duplicate must not have accumulated");
+    }
+
+    #[test]
+    fn quarantines_sentinel_pages_and_imputes_nans() {
+        use mfpa_telemetry::SmartAttr;
+        let mut m = monitor();
+        // Leading NaN with no history: quarantined.
+        let mut r0 = record(0, 0);
+        r0.smart.set(SmartAttr::MediaErrors, f64::NAN);
+        assert!(matches!(
+            m.ingest(&r0),
+            Err(CoreError::CorruptRecord {
+                cause: crate::sanitize::QuarantineCause::MissingValues,
+                ..
+            })
+        ));
+        let mut r1 = record(1, 0);
+        r1.smart.set(SmartAttr::CompositeTemperature, 40.0);
+        m.ingest(&r1).unwrap();
+        // Sentinel page: quarantined, state untouched.
+        let mut r2 = record(2, 0);
+        for attr in SmartAttr::ALL {
+            r2.smart.set(attr, u64::MAX as f64);
+        }
+        assert!(matches!(
+            m.ingest(&r2),
+            Err(CoreError::CorruptRecord { .. })
+        ));
+        assert_eq!(m.last_day(), Some(DayStamp::new(1)));
+        // NaN with history: carried forward from the last accepted page.
+        let mut r3 = record(3, 0);
+        r3.smart.set(SmartAttr::CompositeTemperature, f64::NAN);
+        let row = m.ingest(&r3).unwrap();
+        assert_eq!(row[SmartAttr::CompositeTemperature.index()], 40.0);
+        let rep = m.sanitize_report();
+        assert_eq!(rep.quarantined_sentinel, 1);
+        assert_eq!(rep.quarantined_missing, 1);
+        assert_eq!(rep.values_imputed, 1);
+        assert_eq!(rep.kept_records, 2);
+    }
+
+    #[test]
+    fn repairs_counter_rollovers_online() {
+        use mfpa_telemetry::SmartAttr;
+        let mut m = monitor();
+        let poh_col = SmartAttr::PowerOnHours.index();
+        let mut r0 = record(0, 0);
+        r0.smart.set(SmartAttr::PowerOnHours, 500.0);
+        assert_eq!(m.ingest(&r0).unwrap()[poh_col], 500.0);
+        // Counter wraps: the raw reading restarts near zero.
+        let mut r1 = record(1, 0);
+        r1.smart.set(SmartAttr::PowerOnHours, 10.0);
+        assert_eq!(m.ingest(&r1).unwrap()[poh_col], 500.0);
+        let mut r2 = record(2, 0);
+        r2.smart.set(SmartAttr::PowerOnHours, 34.0);
+        // Keeps accumulating on the spliced base.
+        assert_eq!(m.ingest(&r2).unwrap()[poh_col], 524.0);
+        assert_eq!(m.sanitize_report().rollovers_repaired, 1);
     }
 
     #[test]
@@ -182,16 +368,19 @@ mod tests {
         use crate::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
         use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
 
-        let fleet = SimulatedFleet::generate(
-            &FleetConfig::tiny(21).with_population_fraction(0.001),
-        );
+        let fleet =
+            SimulatedFleet::generate(&FleetConfig::tiny(21).with_population_fraction(0.001));
         let mfpa = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest));
         let prepared = mfpa.prepare(&fleet).expect("prepare");
         let all: Vec<usize> = (0..prepared.n_rows()).collect();
         let trained = mfpa.train_rows(&prepared, &all).expect("train");
 
         // Replay a healthy drive through the monitor: scores stay low.
-        let healthy = fleet.drives().iter().find(|d| d.truth().is_none()).expect("healthy");
+        let healthy = fleet
+            .drives()
+            .iter()
+            .find(|d| d.truth().is_none())
+            .expect("healthy");
         let mut m = DriveMonitor::new(healthy.serial(), healthy.firmware().clone());
         let mut max_p: f64 = 0.0;
         for rec in healthy.history().records() {
@@ -205,13 +394,22 @@ mod tests {
             .drives()
             .iter()
             .filter(|d| d.truth().is_some())
-            .max_by_key(|d| d.history().records().iter().map(|r| r.event_total()).sum::<u32>())
+            .max_by_key(|d| {
+                d.history()
+                    .records()
+                    .iter()
+                    .map(|r| r.event_total())
+                    .sum::<u32>()
+            })
             .expect("faulty");
         let mut m = DriveMonitor::new(faulty.serial(), faulty.firmware().clone());
         let mut last_p = 0.0;
         for rec in faulty.history().records() {
             last_p = m.score(rec, &trained).expect("score");
         }
-        assert!(last_p > max_p, "faulty final {last_p} vs healthy peak {max_p}");
+        assert!(
+            last_p > max_p,
+            "faulty final {last_p} vs healthy peak {max_p}"
+        );
     }
 }

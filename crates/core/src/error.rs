@@ -5,6 +5,9 @@ use std::fmt;
 
 use mfpa_dataset::DatasetError;
 use mfpa_ml::MlError;
+use mfpa_telemetry::{DayStamp, SerialNumber};
+
+use crate::sanitize::QuarantineCause;
 
 /// Errors returned by pipeline construction and execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +19,28 @@ pub enum CoreError {
     DegenerateTrainingSet(String),
     /// A configuration value was out of range.
     InvalidConfig(String),
+    /// A telemetry record arrived before the monitor's newest ingested
+    /// day — cumulative counters cannot run backwards online.
+    OutOfOrderRecord {
+        /// The drive whose stream regressed.
+        serial: SerialNumber,
+        /// The offending record's day.
+        day: DayStamp,
+        /// The newest day already ingested.
+        last: DayStamp,
+    },
+    /// A telemetry record failed online validation and was quarantined.
+    CorruptRecord {
+        /// The drive whose record was quarantined.
+        serial: SerialNumber,
+        /// The offending record's day.
+        day: DayStamp,
+        /// What was wrong with it.
+        cause: QuarantineCause,
+    },
+    /// A model shape was used where it cannot work (e.g. a sequence
+    /// model handed single rows).
+    UnsupportedModel(String),
     /// An underlying dataset operation failed.
     Dataset(String),
     /// An underlying model operation failed.
@@ -32,6 +57,14 @@ impl fmt::Display for CoreError {
                 write!(f, "degenerate training set: {what}")
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::OutOfOrderRecord { serial, day, last } => write!(
+                f,
+                "out-of-order record for {serial}: day {day} is not after the last ingested day {last}"
+            ),
+            CoreError::CorruptRecord { serial, day, cause } => {
+                write!(f, "corrupt record for {serial} on day {day}: {cause}")
+            }
+            CoreError::UnsupportedModel(msg) => write!(f, "unsupported model: {msg}"),
             CoreError::Dataset(msg) => write!(f, "dataset error: {msg}"),
             CoreError::Model(msg) => write!(f, "model error: {msg}"),
         }
@@ -66,6 +99,34 @@ mod tests {
         assert!(CoreError::DegenerateTrainingSet("no positives".into())
             .to_string()
             .contains("no positives"));
+    }
+
+    #[test]
+    fn telemetry_variants_carry_structure() {
+        use mfpa_telemetry::Vendor;
+        let serial = SerialNumber::new(Vendor::I, 3);
+        let e = CoreError::OutOfOrderRecord {
+            serial,
+            day: DayStamp::new(4),
+            last: DayStamp::new(9),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("out-of-order"), "{msg}");
+        assert!(msg.contains('4') && msg.contains('9'), "{msg}");
+        let e = CoreError::CorruptRecord {
+            serial,
+            day: DayStamp::new(2),
+            cause: QuarantineCause::SentinelReset,
+        };
+        assert!(e.to_string().contains("sentinel"), "{e}");
+        assert_eq!(
+            e,
+            CoreError::CorruptRecord {
+                serial,
+                day: DayStamp::new(2),
+                cause: QuarantineCause::SentinelReset,
+            }
+        );
     }
 
     #[test]

@@ -144,12 +144,18 @@ impl FeatureGroup {
 
     /// Whether the group includes Windows events.
     pub fn has_w(self) -> bool {
-        matches!(self, FeatureGroup::Sfwb | FeatureGroup::Sfw | FeatureGroup::W)
+        matches!(
+            self,
+            FeatureGroup::Sfwb | FeatureGroup::Sfw | FeatureGroup::W
+        )
     }
 
     /// Whether the group includes BSOD codes.
     pub fn has_b(self) -> bool {
-        matches!(self, FeatureGroup::Sfwb | FeatureGroup::Sfb | FeatureGroup::B)
+        matches!(
+            self,
+            FeatureGroup::Sfwb | FeatureGroup::Sfb | FeatureGroup::B
+        )
     }
 
     /// The group's feature columns, in canonical order.
@@ -197,8 +203,10 @@ mod tests {
     #[test]
     fn table_v_feature_counts() {
         // Table V: SFWB = 16 + 1 + 5 + 23.
-        let counts: Vec<usize> =
-            FeatureGroup::ALL.iter().map(|g| g.features().len()).collect();
+        let counts: Vec<usize> = FeatureGroup::ALL
+            .iter()
+            .map(|g| g.features().len())
+            .collect();
         assert_eq!(counts, vec![45, 22, 40, 17, 16, 5, 23]);
     }
 

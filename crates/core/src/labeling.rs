@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn ticket_before_any_data_is_unlabelable() {
         let s = series(&[40, 45, 50]);
-        assert_eq!(identify_failure_day(&s, &ticket(39), &LabelingConfig::default()), None);
+        assert_eq!(
+            identify_failure_day(&s, &ticket(39), &LabelingConfig::default()),
+            None
+        );
     }
 
     #[test]

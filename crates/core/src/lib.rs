@@ -20,6 +20,15 @@
 //! 5. **Feature group sets** ([`FeatureGroup`]): SFWB, SFW, SFB, SF, S,
 //!    W, B (Table V), plus sequential forward selection (Fig 17).
 //!
+//! Ahead of stage 1, a telemetry **sanitization stage** ([`sanitize`])
+//! defends the pipeline against the corrupted collection paths real
+//! consumer telemetry traverses: it validates SMART pages, collapses
+//! duplicated days, re-sequences bounded out-of-order arrivals, repairs
+//! cumulative-counter rollovers and imputes missing attributes,
+//! quarantining what it cannot repair with per-cause accounting
+//! ([`SanitizeReport`]). The same defenses run incrementally inside the
+//! client-side [`deploy::DriveMonitor`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -45,6 +54,7 @@ pub mod labeling;
 mod pipeline;
 pub mod preprocess;
 mod report;
+pub mod sanitize;
 pub mod windows;
 
 pub use algorithms::Algorithm;
@@ -52,3 +62,4 @@ pub use error::CoreError;
 pub use features::{FeatureGroup, FeatureId};
 pub use pipeline::{CvStrategy, Mfpa, MfpaConfig, SplitStrategy, TrainedMfpa};
 pub use report::{EvalReport, MetricSet, StageTimings};
+pub use sanitize::{QuarantineCause, SanitizeConfig, SanitizeReport};

@@ -17,6 +17,7 @@ use crate::features::{FeatureGroup, FeatureId};
 use crate::labeling::{label_failures, LabelingConfig};
 use crate::preprocess::{preprocess, CleanSeries, PreprocessConfig};
 use crate::report::{EvalReport, MetricSet, StageTimings};
+use crate::sanitize::{sanitize, SanitizeConfig, SanitizeReport};
 use crate::windows::{SampleSet, WindowConfig};
 
 /// Train/test segmentation strategy (Fig 8(a)).
@@ -55,6 +56,11 @@ pub struct MfpaConfig {
     pub custom_columns: Option<Vec<FeatureId>>,
     /// Model family.
     pub algorithm: Algorithm,
+    /// Telemetry sanitization ahead of preprocessing: `Some` runs the
+    /// [`crate::sanitize`] stage over each drive's raw emission stream
+    /// (the default — it is the identity on clean telemetry); `None`
+    /// trusts the collector's view unchecked (the robustness baseline).
+    pub sanitize: Option<SanitizeConfig>,
     /// Gap-handling constants (§III-C(1)).
     pub preprocess: PreprocessConfig,
     /// θ-labelling constants (§III-C(2)).
@@ -83,11 +89,14 @@ impl MfpaConfig {
             feature_group,
             custom_columns: None,
             algorithm,
+            sanitize: Some(SanitizeConfig::default()),
             preprocess: PreprocessConfig::default(),
             labeling: LabelingConfig::default(),
             window: WindowConfig::default(),
             undersample_ratio: Some(3.0),
-            split: SplitStrategy::TimePoint { train_fraction: 0.7 },
+            split: SplitStrategy::TimePoint {
+                train_fraction: 0.7,
+            },
             threshold: 0.5,
             vendor: None,
             seed: 17,
@@ -103,6 +112,12 @@ impl MfpaConfig {
     /// Restricts to one vendor.
     pub fn with_vendor(mut self, vendor: Vendor) -> Self {
         self.vendor = Some(vendor);
+        self
+    }
+
+    /// Sets or disables the sanitization stage.
+    pub fn with_sanitize(mut self, sanitize: Option<SanitizeConfig>) -> Self {
+        self.sanitize = sanitize;
         self
     }
 
@@ -161,7 +176,11 @@ impl MfpaConfig {
             .vendor
             .map(|v| format!(" vendor={v}"))
             .unwrap_or_default();
-        let cols = if self.custom_columns.is_some() { "custom" } else { self.feature_group.name() };
+        let cols = if self.custom_columns.is_some() {
+            "custom"
+        } else {
+            self.feature_group.name()
+        };
         format!("{}+{}{}", cols, self.algorithm.name(), vendor)
     }
 }
@@ -172,8 +191,10 @@ impl MfpaConfig {
 pub struct Prepared {
     samples: SampleSet,
     failure_days: HashMap<SerialNumber, i64>,
+    sanitize_report: SanitizeReport,
     n_raw_records: usize,
     n_series: usize,
+    sanitize_secs: f64,
     preprocess_secs: f64,
     labeling_secs: f64,
     sampling_secs: f64,
@@ -203,6 +224,17 @@ impl Prepared {
     /// Number of raw telemetry records consumed.
     pub fn n_raw_records(&self) -> usize {
         self.n_raw_records
+    }
+
+    /// Fleet-wide sanitization accounting (all zeros when the stage is
+    /// disabled or the telemetry is clean).
+    pub fn sanitize_report(&self) -> &SanitizeReport {
+        &self.sanitize_report
+    }
+
+    /// Seconds spent in the sanitization stage.
+    pub fn sanitize_secs(&self) -> f64 {
+        self.sanitize_secs
     }
 
     /// Row indices whose collection time lies in `[from, to)`.
@@ -242,23 +274,44 @@ impl Mfpa {
     /// Returns [`CoreError::NoUsableDrives`] if preprocessing leaves
     /// nothing.
     pub fn prepare(&self, fleet: &SimulatedFleet) -> Result<Prepared, CoreError> {
-        let t0 = Instant::now();
         let mut series: Vec<CleanSeries> = Vec::new();
         let mut n_raw_records = 0usize;
+        let mut sanitize_report = SanitizeReport::default();
+        let mut sanitize_secs = 0.0f64;
+        let mut preprocess_secs = 0.0f64;
         for drive in fleet.drives() {
             if let Some(v) = self.config.vendor {
                 if drive.vendor() != v {
                     continue;
                 }
             }
-            n_raw_records += drive.history().len();
-            if let Some(s) =
-                preprocess(drive.history(), drive.firmware(), &self.config.preprocess)
-            {
+            let sanitized;
+            let history = match &self.config.sanitize {
+                Some(cfg) => {
+                    n_raw_records += drive.raw_records().len();
+                    let ts = Instant::now();
+                    let (h, report) = sanitize(
+                        drive.serial(),
+                        drive.history().model(),
+                        drive.raw_records(),
+                        cfg,
+                    );
+                    sanitize_secs += ts.elapsed().as_secs_f64();
+                    sanitize_report.merge(&report);
+                    sanitized = h;
+                    &sanitized
+                }
+                None => {
+                    n_raw_records += drive.history().len();
+                    drive.history()
+                }
+            };
+            let tp = Instant::now();
+            if let Some(s) = preprocess(history, drive.firmware(), &self.config.preprocess) {
                 series.push(s);
             }
+            preprocess_secs += tp.elapsed().as_secs_f64();
         }
-        let preprocess_secs = t0.elapsed().as_secs_f64();
         if series.is_empty() {
             return Err(CoreError::NoUsableDrives);
         }
@@ -279,8 +332,10 @@ impl Mfpa {
         Ok(Prepared {
             samples,
             failure_days,
+            sanitize_report,
             n_raw_records,
             n_series: series.len(),
+            sanitize_secs,
             preprocess_secs,
             labeling_secs,
             sampling_secs,
@@ -300,7 +355,11 @@ impl Mfpa {
     ) -> Result<TrainedMfpa, CoreError> {
         let features = self.config.selected_features();
         let uses_seq = self.config.algorithm.needs_sequence();
-        let frame = if uses_seq { &prepared.samples.seq } else { &prepared.samples.flat };
+        let frame = if uses_seq {
+            &prepared.samples.seq
+        } else {
+            &prepared.samples.flat
+        };
 
         let labels: Vec<bool> = rows.iter().map(|&i| frame.labels()[i]).collect();
         let n_pos = labels.iter().filter(|&&l| l).count();
@@ -317,9 +376,13 @@ impl Mfpa {
 
         let kept: Vec<usize> = match self.config.undersample_ratio {
             Some(ratio) => {
-                let sampler = RandomUnderSampler::new(ratio, self.config.seed)
-                    .map_err(CoreError::from)?;
-                sampler.sample(&labels).into_iter().map(|i| rows[i]).collect()
+                let sampler =
+                    RandomUnderSampler::new(ratio, self.config.seed).map_err(CoreError::from)?;
+                sampler
+                    .sample(&labels)
+                    .into_iter()
+                    .map(|i| rows[i])
+                    .collect()
             }
             None => rows.to_vec(),
         };
@@ -334,9 +397,9 @@ impl Mfpa {
                 .build(self.config.seed, self.config.window.seq_len, &features);
         let t0 = Instant::now();
         model.fit(sub.matrix(), &y).map_err(|e| match e {
-            mfpa_ml::MlError::SingleClass => CoreError::DegenerateTrainingSet(
-                "under-sampling left a single class".into(),
-            ),
+            mfpa_ml::MlError::SingleClass => {
+                CoreError::DegenerateTrainingSet("under-sampling left a single class".into())
+            }
             other => CoreError::from(other),
         })?;
         let train_secs = t0.elapsed().as_secs_f64();
@@ -369,9 +432,11 @@ impl Mfpa {
             }
         };
         let trained = self.train_rows(&prepared, &the_split.train)?;
-        let mut report =
-            trained.evaluate_rows(&prepared, &the_split.test, &self.config.label())?;
+        let mut report = trained.evaluate_rows(&prepared, &the_split.test, &self.config.label())?;
         report.timings.n_raw_records = prepared.n_raw_records;
+        report.timings.sanitize_secs = prepared.sanitize_secs;
+        report.timings.n_quarantined = prepared.sanitize_report.total_quarantined();
+        report.timings.n_repaired = prepared.sanitize_report.total_repaired();
         report.timings.preprocess_secs = prepared.preprocess_secs;
         report.timings.labeling_secs = prepared.labeling_secs;
         report.timings.sampling_secs = prepared.sampling_secs;
@@ -434,12 +499,12 @@ impl TrainedMfpa {
     /// # Errors
     ///
     /// Propagates model prediction errors.
-    pub fn predict_rows(
-        &self,
-        prepared: &Prepared,
-        rows: &[usize],
-    ) -> Result<Vec<f64>, CoreError> {
-        let frame = if self.uses_seq { &prepared.samples.seq } else { &prepared.samples.flat };
+    pub fn predict_rows(&self, prepared: &Prepared, rows: &[usize]) -> Result<Vec<f64>, CoreError> {
+        let frame = if self.uses_seq {
+            &prepared.samples.seq
+        } else {
+            &prepared.samples.flat
+        };
         let cols = col_indices(&self.features, self.uses_seq, self.seq_len);
         let sub = frame.select_rows(rows).select_cols(&cols);
         Ok(self.model.predict_proba(sub.matrix())?)
@@ -492,13 +557,13 @@ impl TrainedMfpa {
         // unpredictable by construction; when their label day falls inside
         // the evaluation window they are drive-level misses (the paper's
         // "faulty disks with no data around IMT − θ" TPR penalty).
-        let window = rows
-            .iter()
-            .map(|&r| frame.meta()[r].time)
-            .fold(None::<(i64, i64)>, |acc, t| match acc {
+        let window = rows.iter().map(|&r| frame.meta()[r].time).fold(
+            None::<(i64, i64)>,
+            |acc, t| match acc {
                 None => Some((t, t)),
                 Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
-            });
+            },
+        );
         if let Some((lo, hi)) = window {
             for &(group, label_day) in &prepared.samples.unwindowed_failures {
                 if label_day >= lo && label_day <= hi {
@@ -508,8 +573,7 @@ impl TrainedMfpa {
         }
         let drive_labels: Vec<bool> = per_drive.values().map(|&(l, _)| l).collect();
         let drive_scores: Vec<f64> = per_drive.values().map(|&(_, s)| s).collect();
-        let drive_preds: Vec<bool> =
-            drive_scores.iter().map(|&s| s >= self.threshold).collect();
+        let drive_preds: Vec<bool> = drive_scores.iter().map(|&s| s >= self.threshold).collect();
         let drive = MetricSet {
             cm: ConfusionMatrix::from_labels(&drive_labels, &drive_preds),
             auc: auc(&drive_labels, &drive_scores),
@@ -580,11 +644,10 @@ mod tests {
         let all = Mfpa::new(MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes))
             .prepare(fleet())
             .unwrap();
-        let only_ii = Mfpa::new(
-            MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes).with_vendor(Vendor::II),
-        )
-        .prepare(fleet())
-        .unwrap();
+        let only_ii =
+            Mfpa::new(MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes).with_vendor(Vendor::II))
+                .prepare(fleet())
+                .unwrap();
         assert!(only_ii.n_rows() < all.n_rows());
         assert!(only_ii
             .samples()
@@ -645,6 +708,33 @@ mod tests {
             .collect();
         let err = mfpa.train_rows(&prepared, &neg_rows).unwrap_err();
         assert!(matches!(err, CoreError::DegenerateTrainingSet(_)));
+    }
+
+    #[test]
+    fn sanitize_is_identity_on_clean_fleets() {
+        let cfg = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest);
+        assert!(cfg.sanitize.is_some(), "sanitization is on by default");
+        let on = Mfpa::new(cfg.clone()).run(fleet()).unwrap();
+        let off = Mfpa::new(cfg.with_sanitize(None)).run(fleet()).unwrap();
+        assert_eq!(on.sample.cm, off.sample.cm);
+        assert_eq!(on.drive.cm, off.drive.cm);
+        assert_eq!(on.sample.auc.to_bits(), off.sample.auc.to_bits());
+        assert_eq!(on.drive.auc.to_bits(), off.drive.auc.to_bits());
+        assert_eq!(on.timings.n_quarantined, 0);
+        assert_eq!(on.timings.n_repaired, 0);
+    }
+
+    #[test]
+    fn prepared_surfaces_sanitize_report() {
+        let cfg = MfpaConfig::new(FeatureGroup::S, Algorithm::Bayes);
+        let prepared = Mfpa::new(cfg).prepare(fleet()).unwrap();
+        let report = prepared.sanitize_report();
+        assert!(
+            report.is_clean(),
+            "clean fleet must sanitize cleanly: {report:?}"
+        );
+        assert_eq!(report.input_records, prepared.n_raw_records());
+        assert_eq!(report.kept_records, prepared.n_raw_records());
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub struct PreprocessConfig {
 
 impl Default for PreprocessConfig {
     fn default() -> Self {
-        PreprocessConfig { drop_gap: 10, fill_gap: 3, min_len: 5, cumulative_events: true }
+        PreprocessConfig {
+            drop_gap: 10,
+            fill_gap: 3,
+            min_len: 5,
+            cumulative_events: true,
+        }
     }
 }
 
@@ -104,7 +109,11 @@ pub fn raw_rows(
             row.extend(b_cum.iter().map(|&v| v as f64));
         } else {
             row.extend(MODEL_W_EVENTS.iter().map(|&ev| f64::from(rec.w(ev))));
-            row.extend(mfpa_telemetry::BsodCode::ALL.iter().map(|&c| f64::from(rec.b(c))));
+            row.extend(
+                mfpa_telemetry::BsodCode::ALL
+                    .iter()
+                    .map(|&c| f64::from(rec.b(c))),
+            );
         }
         days.push(rec.day.day());
         rows.push(row);
@@ -149,8 +158,7 @@ pub fn preprocess(
             if gap > 1 && gap <= config.fill_gap {
                 let prev = rows[i - 1].clone();
                 let next = &rows[i];
-                let mean: Vec<f64> =
-                    prev.iter().zip(next).map(|(a, b)| 0.5 * (a + b)).collect();
+                let mean: Vec<f64> = prev.iter().zip(next).map(|(a, b)| 0.5 * (a + b)).collect();
                 for missing in days[i - 1] + 1..days[i] {
                     out_days.push(missing);
                     out_rows.push(mean.clone());
@@ -243,7 +251,10 @@ mod tests {
         let days: Vec<(i64, u32)> = [0, 3, 4, 5, 6].iter().map(|&d| (d, 0)).collect();
         let s = preprocess(&history(&days), &fw(), &PreprocessConfig::default()).unwrap();
         assert_eq!(s.days, vec![0, 1, 2, 3, 4, 5, 6]);
-        assert_eq!(s.imputed, vec![false, true, true, false, false, false, false]);
+        assert_eq!(
+            s.imputed,
+            vec![false, true, true, false, false, false, false]
+        );
         // Media errors were set to the day number → imputed = mean(0, 3).
         let media_col = FeatureId::Smart(SmartAttr::MediaErrors).full_index();
         assert_eq!(s.rows[1][media_col], 1.5);

@@ -57,6 +57,13 @@ impl fmt::Display for MetricSet {
 pub struct StageTimings {
     /// Raw telemetry records consumed.
     pub n_raw_records: usize,
+    /// Seconds spent sanitizing raw telemetry (zero when disabled).
+    pub sanitize_secs: f64,
+    /// Records the sanitization stage quarantined, by any cause.
+    pub n_quarantined: usize,
+    /// In-place repairs (rollover splices + imputed values + collapsed
+    /// duplicates + reordered arrivals) the sanitization stage applied.
+    pub n_repaired: usize,
     /// Seconds spent in preprocessing (gap handling + feature rows).
     pub preprocess_secs: f64,
     /// Seconds spent aligning tickets (θ labelling).
@@ -125,7 +132,10 @@ mod tests {
     use super::*;
 
     fn metric(tp: u64, fp: u64, tn: u64, fn_: u64, auc: f64) -> MetricSet {
-        MetricSet { cm: ConfusionMatrix { tp, fp, tn, fn_ }, auc }
+        MetricSet {
+            cm: ConfusionMatrix { tp, fp, tn, fn_ },
+            auc,
+        }
     }
 
     #[test]
@@ -147,7 +157,11 @@ mod tests {
 
     #[test]
     fn timings_micros_per_row() {
-        let t = StageTimings { n_test_rows: 1000, predict_secs: 0.01, ..Default::default() };
+        let t = StageTimings {
+            n_test_rows: 1000,
+            predict_secs: 0.01,
+            ..Default::default()
+        };
         assert!((t.predict_micros_per_row() - 10.0).abs() < 1e-9);
         assert_eq!(StageTimings::default().predict_micros_per_row(), 0.0);
     }

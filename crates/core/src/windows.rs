@@ -30,7 +30,11 @@ pub struct WindowConfig {
 
 impl Default for WindowConfig {
     fn default() -> Self {
-        WindowConfig { positive_window: 14, lookahead: 0, seq_len: 5 }
+        WindowConfig {
+            positive_window: 14,
+            lookahead: 0,
+            seq_len: 5,
+        }
     }
 }
 
@@ -88,7 +92,10 @@ pub fn build_samples_for(
     config: &WindowConfig,
     build_seq: bool,
 ) -> Result<SampleSet, DatasetError> {
-    let names: Vec<String> = FeatureId::full_row().iter().map(|f| f.to_string()).collect();
+    let names: Vec<String> = FeatureId::full_row()
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
     let n_cols = names.len();
     let seq_names: Vec<String> = (0..config.seq_len)
         .flat_map(|t| {
@@ -137,7 +144,11 @@ pub fn build_samples_for(
             }
         }
     }
-    Ok(SampleSet { flat, seq, unwindowed_failures })
+    Ok(SampleSet {
+        flat,
+        seq,
+        unwindowed_failures,
+    })
 }
 
 #[cfg(test)]
@@ -150,11 +161,14 @@ mod tests {
             serial: SerialNumber::new(Vendor::I, id),
             vendor: Vendor::I,
             days: days.to_vec(),
-            rows: days.iter().map(|&d| {
-                let mut r = vec![0.0; 45];
-                r[0] = d as f64; // marker feature
-                r
-            }).collect(),
+            rows: days
+                .iter()
+                .map(|&d| {
+                    let mut r = vec![0.0; 45];
+                    r[0] = d as f64; // marker feature
+                    r
+                })
+                .collect(),
             imputed: vec![false; days.len()],
         }
     }
@@ -168,7 +182,11 @@ mod tests {
     #[test]
     fn positive_window_selects_pre_failure_rows() {
         let s = series(1, &(0..=50).collect::<Vec<_>>());
-        let cfg = WindowConfig { positive_window: 7, lookahead: 0, seq_len: 3 };
+        let cfg = WindowConfig {
+            positive_window: 7,
+            lookahead: 0,
+            seq_len: 3,
+        };
         let set = build_samples(&[s], &labels(1, 50), &cfg).unwrap();
         // Days 44..=50 are positive; earlier days discarded.
         assert_eq!(set.flat.n_rows(), 7);
@@ -181,7 +199,11 @@ mod tests {
     #[test]
     fn lookahead_shifts_window_back() {
         let s = series(1, &(0..=50).collect::<Vec<_>>());
-        let cfg = WindowConfig { positive_window: 7, lookahead: 10, seq_len: 3 };
+        let cfg = WindowConfig {
+            positive_window: 7,
+            lookahead: 10,
+            seq_len: 3,
+        };
         let set = build_samples(&[s], &labels(1, 50), &cfg).unwrap();
         let times = set.flat.times();
         assert_eq!(*times.iter().max().unwrap(), 40);
@@ -199,7 +221,11 @@ mod tests {
     #[test]
     fn seq_view_aligned_and_padded() {
         let s = series(3, &[10, 11, 12]);
-        let cfg = WindowConfig { positive_window: 14, lookahead: 0, seq_len: 3 };
+        let cfg = WindowConfig {
+            positive_window: 14,
+            lookahead: 0,
+            seq_len: 3,
+        };
         let set = build_samples(&[s], &HashMap::new(), &cfg).unwrap();
         assert_eq!(set.seq.n_rows(), set.flat.n_rows());
         assert_eq!(set.seq.n_cols(), 3 * 45);

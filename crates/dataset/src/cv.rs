@@ -52,8 +52,11 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>, DatasetError> {
         let lo = i * n / k;
         let hi = (i + 1) * n / k;
         let validate = indices[lo..hi].to_vec();
-        let train: Vec<usize> =
-            indices[..lo].iter().chain(&indices[hi..]).copied().collect();
+        let train: Vec<usize> = indices[..lo]
+            .iter()
+            .chain(&indices[hi..])
+            .copied()
+            .collect();
         folds.push(Fold { train, validate });
     }
     Ok(folds)
@@ -168,7 +171,11 @@ mod tests {
         assert!(folds_chronologically_sound(&folds, &times));
         // Each training set spans k subsets ≈ half the data.
         for f in &folds {
-            assert!(f.train.len() >= 18 && f.train.len() <= 21, "{}", f.train.len());
+            assert!(
+                f.train.len() >= 18 && f.train.len() <= 21,
+                "{}",
+                f.train.len()
+            );
             assert!(!f.validate.is_empty());
         }
     }

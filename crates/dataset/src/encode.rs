@@ -34,7 +34,10 @@ pub struct LabelEncoder<T: Eq + Hash + Clone> {
 impl<T: Eq + Hash + Clone> LabelEncoder<T> {
     /// Creates an empty encoder.
     pub fn new() -> Self {
-        LabelEncoder { forward: HashMap::new(), reverse: Vec::new() }
+        LabelEncoder {
+            forward: HashMap::new(),
+            reverse: Vec::new(),
+        }
     }
 
     /// Number of distinct categories seen so far.

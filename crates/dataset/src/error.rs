@@ -30,7 +30,10 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected} columns, got {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} columns, got {actual}"
+                )
             }
             DatasetError::Empty => f.write_str("operation requires a non-empty dataset"),
             DatasetError::IndexOutOfBounds { index, len } => {
@@ -49,7 +52,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = DatasetError::DimensionMismatch { expected: 3, actual: 2 };
+        let e = DatasetError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(DatasetError::Empty.to_string().contains("non-empty"));
         let e = DatasetError::IndexOutOfBounds { index: 9, len: 4 };

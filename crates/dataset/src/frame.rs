@@ -26,7 +26,11 @@ pub struct SampleMeta {
 impl SampleMeta {
     /// Creates metadata with `tag = 0`.
     pub fn new(group: u64, time: i64) -> Self {
-        SampleMeta { group, time, tag: 0 }
+        SampleMeta {
+            group,
+            time,
+            tag: 0,
+        }
     }
 
     /// Creates metadata with an explicit tag.
@@ -102,7 +106,12 @@ impl FeatureFrame {
                 actual: labels.len(),
             });
         }
-        Ok(FeatureFrame { feature_names, matrix, meta, labels })
+        Ok(FeatureFrame {
+            feature_names,
+            matrix,
+            meta,
+            labels,
+        })
     }
 
     /// Appends one labelled row.
@@ -195,7 +204,10 @@ impl FeatureFrame {
     /// Panics if a column index is out of bounds.
     pub fn select_cols(&self, cols: &[usize]) -> FeatureFrame {
         FeatureFrame {
-            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
             matrix: self.matrix.select_cols(cols),
             meta: self.meta.clone(),
             labels: self.labels.clone(),
@@ -226,9 +238,12 @@ mod tests {
 
     fn sample_frame() -> FeatureFrame {
         let mut f = FeatureFrame::new(vec!["a".into(), "b".into()]);
-        f.push_row(&[1.0, 2.0], SampleMeta::with_tag(0, 10, 1), true).unwrap();
-        f.push_row(&[3.0, 4.0], SampleMeta::with_tag(1, 20, 2), false).unwrap();
-        f.push_row(&[5.0, 6.0], SampleMeta::with_tag(0, 30, 1), false).unwrap();
+        f.push_row(&[1.0, 2.0], SampleMeta::with_tag(0, 10, 1), true)
+            .unwrap();
+        f.push_row(&[3.0, 4.0], SampleMeta::with_tag(1, 20, 2), false)
+            .unwrap();
+        f.push_row(&[5.0, 6.0], SampleMeta::with_tag(0, 30, 1), false)
+            .unwrap();
         f
     }
 
@@ -244,10 +259,28 @@ mod tests {
     #[test]
     fn from_parts_validates() {
         let m = Matrix::from_rows(&[vec![1.0]]).unwrap();
-        assert!(FeatureFrame::from_parts(vec![], m.clone(), vec![SampleMeta::new(0, 0)], vec![true]).is_err());
+        assert!(FeatureFrame::from_parts(
+            vec![],
+            m.clone(),
+            vec![SampleMeta::new(0, 0)],
+            vec![true]
+        )
+        .is_err());
         assert!(FeatureFrame::from_parts(vec!["a".into()], m.clone(), vec![], vec![true]).is_err());
-        assert!(FeatureFrame::from_parts(vec!["a".into()], m.clone(), vec![SampleMeta::new(0, 0)], vec![]).is_err());
-        assert!(FeatureFrame::from_parts(vec!["a".into()], m, vec![SampleMeta::new(0, 0)], vec![true]).is_ok());
+        assert!(FeatureFrame::from_parts(
+            vec!["a".into()],
+            m.clone(),
+            vec![SampleMeta::new(0, 0)],
+            vec![]
+        )
+        .is_err());
+        assert!(FeatureFrame::from_parts(
+            vec!["a".into()],
+            m,
+            vec![SampleMeta::new(0, 0)],
+            vec![true]
+        )
+        .is_ok());
     }
 
     #[test]
@@ -278,7 +311,9 @@ mod tests {
     #[test]
     fn wrong_width_row_rejected() {
         let mut f = FeatureFrame::new(vec!["a".into()]);
-        let err = f.push_row(&[1.0, 2.0], SampleMeta::new(0, 0), false).unwrap_err();
+        let err = f
+            .push_row(&[1.0, 2.0], SampleMeta::new(0, 0), false)
+            .unwrap_err();
         assert!(matches!(err, DatasetError::DimensionMismatch { .. }));
         assert!(f.is_empty());
     }

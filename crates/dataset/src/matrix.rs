@@ -30,12 +30,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an empty matrix with `n_cols` columns and no rows.
     pub fn with_cols(n_cols: usize) -> Self {
-        Matrix { data: Vec::new(), n_rows: 0, n_cols }
+        Matrix {
+            data: Vec::new(),
+            n_rows: 0,
+            n_cols,
+        }
     }
 
     /// Creates a zero-filled matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        Matrix { data: vec![0.0; n_rows * n_cols], n_rows, n_cols }
+        Matrix {
+            data: vec![0.0; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Builds a matrix from row slices.
@@ -56,7 +64,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { data, n_rows: rows.len(), n_cols })
+        Ok(Matrix {
+            data,
+            n_rows: rows.len(),
+            n_cols,
+        })
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -67,7 +79,10 @@ impl Matrix {
     /// multiple of `n_cols` (with `n_cols > 0`).
     pub fn from_flat(data: Vec<f64>, n_cols: usize) -> Result<Self, DatasetError> {
         if n_cols == 0 && !data.is_empty() {
-            return Err(DatasetError::DimensionMismatch { expected: 0, actual: data.len() });
+            return Err(DatasetError::DimensionMismatch {
+                expected: 0,
+                actual: data.len(),
+            });
         }
         if n_cols > 0 && !data.len().is_multiple_of(n_cols) {
             return Err(DatasetError::DimensionMismatch {
@@ -76,7 +91,11 @@ impl Matrix {
             });
         }
         let n_rows = data.len().checked_div(n_cols).unwrap_or(0);
-        Ok(Matrix { data, n_rows, n_cols })
+        Ok(Matrix {
+            data,
+            n_rows,
+            n_cols,
+        })
     }
 
     /// Number of rows (samples).
@@ -100,7 +119,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n_rows && col < self.n_cols, "matrix index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.n_cols + col]
     }
 
@@ -110,7 +132,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "matrix index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.n_cols + col] = value;
     }
 
@@ -136,7 +161,9 @@ impl Matrix {
     /// Panics if `col >= n_cols`.
     pub fn column(&self, col: usize) -> Vec<f64> {
         assert!(col < self.n_cols, "column index out of bounds");
-        (0..self.n_rows).map(|r| self.data[r * self.n_cols + col]).collect()
+        (0..self.n_rows)
+            .map(|r| self.data[r * self.n_cols + col])
+            .collect()
     }
 
     /// Appends a row.
@@ -168,7 +195,11 @@ impl Matrix {
         for &ix in indices {
             data.extend_from_slice(self.row(ix));
         }
-        Matrix { data, n_rows: indices.len(), n_cols: self.n_cols }
+        Matrix {
+            data,
+            n_rows: indices.len(),
+            n_cols: self.n_cols,
+        }
     }
 
     /// A new matrix containing the given columns (in the given order).
@@ -185,7 +216,11 @@ impl Matrix {
             let row = self.row(r);
             data.extend(cols.iter().map(|&c| row[c]));
         }
-        Matrix { data, n_rows: self.n_rows, n_cols: cols.len() }
+        Matrix {
+            data,
+            n_rows: self.n_rows,
+            n_cols: cols.len(),
+        }
     }
 
     /// The flat row-major buffer.
@@ -214,7 +249,13 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged() {
         let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
-        assert_eq!(err, DatasetError::DimensionMismatch { expected: 1, actual: 2 });
+        assert_eq!(
+            err,
+            DatasetError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
     }
 
     #[test]

@@ -63,10 +63,18 @@ impl RandomUnderSampler {
     /// With zero positives, all negatives are kept (nothing to balance
     /// against).
     pub fn sample(&self, labels: &[bool]) -> Vec<usize> {
-        let positives: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &l)| l).map(|(i, _)| i).collect();
-        let mut negatives: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &l)| !l).map(|(i, _)| i).collect();
+        let positives: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .collect();
+        let mut negatives: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| !l)
+            .map(|(i, _)| i)
+            .collect();
         if positives.is_empty() {
             return negatives;
         }

@@ -81,7 +81,11 @@ impl StandardScaler {
         let mut buf = vec![0.0; x.n_cols()];
         for row in x.rows() {
             for (j, v) in row.iter().enumerate() {
-                buf[j] = if self.stds[j] > 0.0 { (v - self.means[j]) / self.stds[j] } else { 0.0 };
+                buf[j] = if self.stds[j] > 0.0 {
+                    (v - self.means[j]) / self.stds[j]
+                } else {
+                    0.0
+                };
             }
             out.push_row(&buf)?;
         }

@@ -51,7 +51,9 @@ pub fn ratio_split(n: usize, test_fraction: f64, seed: u64) -> Result<Split, Dat
     let mut rng = StdRng::seed_from_u64(seed);
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(&mut rng);
-    let n_test = ((n as f64) * test_fraction).round().clamp(1.0, (n - 1) as f64) as usize;
+    let n_test = ((n as f64) * test_fraction)
+        .round()
+        .clamp(1.0, (n - 1) as f64) as usize;
     let test = indices[..n_test].to_vec();
     let train = indices[n_test..].to_vec();
     Ok(Split { train, test })
@@ -91,10 +93,7 @@ pub fn timepoint_split(times: &[i64], boundary: i64) -> Split {
 ///
 /// Returns [`DatasetError::Empty`] for an empty slice and
 /// [`DatasetError::InvalidParameter`] unless `0.0 < train_fraction < 1.0`.
-pub fn timepoint_split_fraction(
-    times: &[i64],
-    train_fraction: f64,
-) -> Result<Split, DatasetError> {
+pub fn timepoint_split_fraction(times: &[i64], train_fraction: f64) -> Result<Split, DatasetError> {
     if times.is_empty() {
         return Err(DatasetError::Empty);
     }
@@ -175,7 +174,11 @@ mod tests {
     fn timepoint_fraction_hits_requested_share() {
         let times: Vec<i64> = (0..100).collect();
         let s = timepoint_split_fraction(&times, 0.8).unwrap();
-        assert!((s.train.len() as i64 - 80).abs() <= 1, "train = {}", s.train.len());
+        assert!(
+            (s.train.len() as i64 - 80).abs() <= 1,
+            "train = {}",
+            s.train.len()
+        );
         assert!(is_chronologically_sound(&s, &times));
     }
 
@@ -188,7 +191,10 @@ mod tests {
 
     #[test]
     fn soundness_with_empty_sides() {
-        let s = Split { train: vec![0], test: vec![] };
+        let s = Split {
+            train: vec![0],
+            test: vec![],
+        };
         assert!(is_chronologically_sound(&s, &[5]));
     }
 }

@@ -7,6 +7,105 @@ use serde::{Deserialize, Serialize};
 /// probabilities.
 pub const STUDY_DAYS: f64 = 730.0;
 
+/// Telemetry corruption rates for the fault-injection layer
+/// ([`crate::faults`]).
+///
+/// Consumer telemetry is collected by an agent on the user's machine and
+/// shipped over flaky links, so the raw stream the pipeline sees is not
+/// the clean record sequence the drive produced. Each knob below is the
+/// independent probability of one corruption class; all default to zero,
+/// in which case the injector is completely disabled and the fleet is
+/// bit-identical to one generated without any fault layer.
+///
+/// Per-*record* rates (applied to each emitted record independently):
+/// `sentinel_reset_rate`, `missing_attribute_rate`, `clock_skew_rate`,
+/// `duplicate_record_rate`, `out_of_order_rate`. Per-*drive* rates
+/// (applied once per drive): `stuck_attribute_rate`,
+/// `counter_rollover_rate`.
+///
+/// # Example
+///
+/// ```
+/// use mfpa_fleetsim::FaultConfig;
+///
+/// assert!(!FaultConfig::none().is_enabled());
+/// assert!(FaultConfig::uniform(0.05).is_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a record's SMART page is replaced by a sentinel page:
+    /// every attribute reads all-ones (`0xFFFF_FFFF` / `0xFFFF_FFFF_FFFF_FFFF`)
+    /// or all-zeros — the classic firmware read glitch.
+    pub sentinel_reset_rate: f64,
+    /// Probability a drive develops one stuck-at SMART attribute: from a
+    /// random day on, the attribute reports a frozen value.
+    pub stuck_attribute_rate: f64,
+    /// Probability a drive's cumulative SMART counters roll over to zero
+    /// mid-stream and keep counting from there.
+    pub counter_rollover_rate: f64,
+    /// Probability a record is emitted twice (exact duplicate).
+    pub duplicate_record_rate: f64,
+    /// Probability a record is swapped with its predecessor in the
+    /// emission stream (transport reordering).
+    pub out_of_order_rate: f64,
+    /// Probability a record has attributes missing (reported as NaN).
+    pub missing_attribute_rate: f64,
+    /// Probability a record's day stamp is skewed by a bounded offset
+    /// (client clock drift / bad wall-clock reads).
+    pub clock_skew_rate: f64,
+}
+
+impl FaultConfig {
+    /// All rates zero: injection disabled.
+    pub fn none() -> Self {
+        FaultConfig {
+            sentinel_reset_rate: 0.0,
+            stuck_attribute_rate: 0.0,
+            counter_rollover_rate: 0.0,
+            duplicate_record_rate: 0.0,
+            out_of_order_rate: 0.0,
+            missing_attribute_rate: 0.0,
+            clock_skew_rate: 0.0,
+        }
+    }
+
+    /// Every knob set to the same rate (clamped to `[0, 1]`) — the sweep
+    /// axis of the robustness experiment.
+    pub fn uniform(rate: f64) -> Self {
+        let r = rate.clamp(0.0, 1.0);
+        FaultConfig {
+            sentinel_reset_rate: r,
+            stuck_attribute_rate: r,
+            counter_rollover_rate: r,
+            duplicate_record_rate: r,
+            out_of_order_rate: r,
+            missing_attribute_rate: r,
+            clock_skew_rate: r,
+        }
+    }
+
+    /// Whether any corruption class has a non-zero rate.
+    pub fn is_enabled(&self) -> bool {
+        [
+            self.sentinel_reset_rate,
+            self.stuck_attribute_rate,
+            self.counter_rollover_rate,
+            self.duplicate_record_rate,
+            self.out_of_order_rate,
+            self.missing_attribute_rate,
+            self.clock_skew_rate,
+        ]
+        .iter()
+        .any(|&r| r > 0.0)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
 /// Configuration of one synthetic fleet.
 ///
 /// The default configuration (`FleetConfig::new(seed)`) is the scale used
@@ -61,6 +160,8 @@ pub struct FleetConfig {
     /// Fraction of healthy machines with flaky software stacks that emit
     /// elevated W/B noise unrelated to the disk.
     pub noisy_os_fraction: f64,
+    /// Telemetry-corruption rates (all zero = clean stream).
+    pub faults: FaultConfig,
 }
 
 impl FleetConfig {
@@ -80,6 +181,7 @@ impl FleetConfig {
             sudden_system_fraction: 0.10,
             noisy_smart_fraction: 0.05,
             noisy_os_fraction: 0.04,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -130,6 +232,12 @@ impl FleetConfig {
         self
     }
 
+    /// Sets the telemetry-corruption rates.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// In-campaign failure probability targeted for a drive of a vendor
     /// with the given Table VI replacement rate.
     pub fn campaign_failure_probability(&self, paper_replacement_rate: f64) -> f64 {
@@ -163,10 +271,14 @@ mod tests {
 
     #[test]
     fn campaign_probability_scales_linearly() {
-        let c = FleetConfig::new(0).with_hazard_boost(1.0).with_horizon_days(365);
+        let c = FleetConfig::new(0)
+            .with_hazard_boost(1.0)
+            .with_horizon_days(365);
         let p = c.campaign_failure_probability(0.0068);
         assert!((p - 0.0068 * 0.5).abs() < 1e-4);
-        let boosted = c.with_hazard_boost(10.0).campaign_failure_probability(0.0068);
+        let boosted = c
+            .with_hazard_boost(10.0)
+            .campaign_failure_probability(0.0068);
         assert!((boosted / p - 10.0).abs() < 1e-9);
     }
 
@@ -174,6 +286,16 @@ mod tests {
     fn campaign_probability_capped() {
         let c = FleetConfig::new(0).with_hazard_boost(1e9);
         assert_eq!(c.campaign_failure_probability(0.01), 0.9);
+    }
+
+    #[test]
+    fn faults_default_disabled() {
+        assert!(!FleetConfig::new(1).faults.is_enabled());
+        assert!(!FleetConfig::tiny(1).faults.is_enabled());
+        let c = FleetConfig::new(1).with_faults(FaultConfig::uniform(2.0));
+        assert!(c.faults.is_enabled());
+        assert_eq!(c.faults.sentinel_reset_rate, 1.0);
+        assert_eq!(FaultConfig::default(), FaultConfig::none());
     }
 
     #[test]

@@ -114,8 +114,7 @@ impl SmartTrajectory {
     /// `drift` scales benign anomaly rates (Fig 12/16 covariate drift).
     pub fn record_for(&mut self, day: i64, drift: f64, rng: &mut StdRng) -> SmartValues {
         // --- workload counters -------------------------------------------------
-        let daily_write =
-            (self.write_units_per_day * rng.random_range(0.5..1.5)).max(0.0);
+        let daily_write = (self.write_units_per_day * rng.random_range(0.5..1.5)).max(0.0);
         let daily_read = daily_write * self.read_factor;
         self.poh += self.hours_per_day * rng.random_range(0.6..1.4);
         self.cycles += rng.random_range(1.0..2.2f64).round();
@@ -141,7 +140,11 @@ impl SmartTrajectory {
             (Some(_), true) | (None, _) => 0.0,
             (Some(FailureLevel::Drive), false) => 0.5 * ramp,
             (Some(FailureLevel::System), false) => 0.12 * ramp,
-        } + if self.noisy_smart { 0.08 * drift } else { 0.002 * drift };
+        } + if self.noisy_smart {
+            0.08 * drift
+        } else {
+            0.002 * drift
+        };
         self.media_errors += poisson(media_rate, rng);
 
         let unsafe_rate = match (level, silent) {
@@ -166,8 +169,11 @@ impl SmartTrajectory {
 
         // --- assemble the snapshot ---------------------------------------------
         let threshold = 10.0;
-        let critical =
-            if self.spare < threshold || self.media_errors > 60.0 { 1.0 } else { 0.0 };
+        let critical = if self.spare < threshold || self.media_errors > 60.0 {
+            1.0
+        } else {
+            0.0
+        };
         let temp_boost = match (overtemp, dtf) {
             (true, Some(d)) if d <= 5.0 => 9.0,
             _ => 0.0,
@@ -216,16 +222,13 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn run(
-        plan: Option<FailurePlan>,
-        noisy: bool,
-        days: i64,
-        seed: u64,
-    ) -> Vec<SmartValues> {
+    fn run(plan: Option<FailurePlan>, noisy: bool, days: i64, seed: u64) -> Vec<SmartValues> {
         let mut rng = StdRng::seed_from_u64(seed);
         let profile = UsageProfile::always_on();
         let mut traj = SmartTrajectory::new(&profile, 512, 200.0, noisy, plan, &mut rng);
-        (0..days).map(|d| traj.record_for(d, 1.0, &mut rng)).collect()
+        (0..days)
+            .map(|d| traj.record_for(d, 1.0, &mut rng))
+            .collect()
     }
 
     fn last(v: &[SmartValues], attr: SmartAttr) -> f64 {
@@ -256,8 +259,13 @@ mod tests {
 
     #[test]
     fn drive_level_failure_degrades_smart() {
-        let plan =
-            FailurePlan { day: 100, level: FailureLevel::Drive, smart_silent: false, precursor_scale: 1.0, overtemp: false };
+        let plan = FailurePlan {
+            day: 100,
+            level: FailureLevel::Drive,
+            smart_silent: false,
+            precursor_scale: 1.0,
+            overtemp: false,
+        };
         let recs = run(Some(plan), false, 101, 3);
         assert!(
             last(&recs, SmartAttr::MediaErrors) > 30.0,
@@ -269,8 +277,13 @@ mod tests {
 
     #[test]
     fn smart_silent_failure_keeps_media_errors_low() {
-        let plan =
-            FailurePlan { day: 100, level: FailureLevel::System, smart_silent: true, precursor_scale: 1.0, overtemp: false };
+        let plan = FailurePlan {
+            day: 100,
+            level: FailureLevel::System,
+            smart_silent: true,
+            precursor_scale: 1.0,
+            overtemp: false,
+        };
         let recs = run(Some(plan), false, 101, 4);
         assert!(last(&recs, SmartAttr::MediaErrors) < 5.0);
         assert!(last(&recs, SmartAttr::AvailableSpare) > 80.0);
@@ -286,11 +299,24 @@ mod tests {
 
     #[test]
     fn overtemp_failure_heats_up_near_death() {
-        let plan =
-            FailurePlan { day: 30, level: FailureLevel::Drive, smart_silent: false, precursor_scale: 1.0, overtemp: true };
+        let plan = FailurePlan {
+            day: 30,
+            level: FailureLevel::Drive,
+            smart_silent: false,
+            precursor_scale: 1.0,
+            overtemp: true,
+        };
         let recs = run(Some(plan), false, 31, 6);
-        let early: f64 = recs[..20].iter().map(|r| r.get(SmartAttr::CompositeTemperature)).sum::<f64>() / 20.0;
-        let late: f64 = recs[26..].iter().map(|r| r.get(SmartAttr::CompositeTemperature)).sum::<f64>() / 5.0;
+        let early: f64 = recs[..20]
+            .iter()
+            .map(|r| r.get(SmartAttr::CompositeTemperature))
+            .sum::<f64>()
+            / 20.0;
+        let late: f64 = recs[26..]
+            .iter()
+            .map(|r| r.get(SmartAttr::CompositeTemperature))
+            .sum::<f64>()
+            / 5.0;
         assert!(late > early + 4.0, "early {early:.1}, late {late:.1}");
     }
 

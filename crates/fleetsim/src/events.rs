@@ -118,18 +118,14 @@ impl EventContext {
 
     fn storm_w(&self) -> f64 {
         match (self.days_to_failure, self.level) {
-            (Some(d), Some(level)) => {
-                level_amplitude_w(level) * failure_ramp(d) * self.precursor
-            }
+            (Some(d), Some(level)) => level_amplitude_w(level) * failure_ramp(d) * self.precursor,
             _ => 0.0,
         }
     }
 
     fn storm_b(&self) -> f64 {
         match (self.days_to_failure, self.level) {
-            (Some(d), Some(level)) => {
-                level_amplitude_b(level) * failure_ramp(d) * self.precursor
-            }
+            (Some(d), Some(level)) => level_amplitude_b(level) * failure_ramp(d) * self.precursor,
             _ => 0.0,
         }
     }
@@ -141,8 +137,7 @@ pub fn daily_w_counts(ctx: &EventContext, rng: &mut StdRng) -> [u32; 9] {
     let storm = ctx.storm_w();
     let mut out = [0u32; 9];
     for id in WindowsEventId::ALL {
-        let rate =
-            w_base_rate(id) * noise * ctx.drift + 0.02 * storm * w_failure_weight(id);
+        let rate = w_base_rate(id) * noise * ctx.drift + 0.02 * storm * w_failure_weight(id);
         out[id.index()] = poisson_u32(rate, rng);
     }
     out
@@ -154,8 +149,7 @@ pub fn daily_b_counts(ctx: &EventContext, rng: &mut StdRng) -> [u32; 23] {
     let storm = ctx.storm_b();
     let mut out = [0u32; 23];
     for code in BsodCode::ALL {
-        let rate =
-            b_base_rate(code) * noise * ctx.drift + 0.012 * storm * b_failure_weight(code);
+        let rate = b_base_rate(code) * noise * ctx.drift + 0.012 * storm * b_failure_weight(code);
         out[code.index()] = poisson_u32(rate, rng);
     }
     out
@@ -178,8 +172,14 @@ mod tests {
         let mut w = 0u64;
         let mut b = 0u64;
         for _ in 0..days {
-            w += daily_w_counts(ctx, &mut rng).iter().map(|&c| c as u64).sum::<u64>();
-            b += daily_b_counts(ctx, &mut rng).iter().map(|&c| c as u64).sum::<u64>();
+            w += daily_w_counts(ctx, &mut rng)
+                .iter()
+                .map(|&c| c as u64)
+                .sum::<u64>();
+            b += daily_b_counts(ctx, &mut rng)
+                .iter()
+                .map(|&c| c as u64)
+                .sum::<u64>();
         }
         (w, b)
     }
@@ -204,7 +204,10 @@ mod tests {
                 noisy_os: false,
                 drift: 1.0,
             };
-            w += daily_w_counts(&ctx, &mut rng).iter().map(|&c| c as u64).sum::<u64>();
+            w += daily_w_counts(&ctx, &mut rng)
+                .iter()
+                .map(|&c| c as u64)
+                .sum::<u64>();
         }
         assert!(w > 15, "w = {w}");
     }
@@ -225,7 +228,10 @@ mod tests {
 
     #[test]
     fn noisy_os_machines_are_noisier_but_not_storming() {
-        let noisy = EventContext { noisy_os: true, ..EventContext::healthy() };
+        let noisy = EventContext {
+            noisy_os: true,
+            ..EventContext::healthy()
+        };
         let (wn, _) = total_over(&noisy, 365, 4);
         let (wq, _) = total_over(&EventContext::healthy(), 365, 4);
         assert!(wn > wq);
@@ -241,7 +247,10 @@ mod tests {
 
     #[test]
     fn drift_raises_benign_rates() {
-        let drifted = EventContext { drift: 3.0, ..EventContext::healthy() };
+        let drifted = EventContext {
+            drift: 3.0,
+            ..EventContext::healthy()
+        };
         let (w3, _) = total_over(&drifted, 3000, 5);
         let (w1, _) = total_over(&EventContext::healthy(), 3000, 5);
         assert!(w3 > 2 * w1, "w3 = {w3}, w1 = {w1}");

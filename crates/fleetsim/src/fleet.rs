@@ -1,8 +1,8 @@
 //! Fleet generation: populations, failures, telemetry and tickets.
 
 use mfpa_telemetry::{
-    DailyRecord, DayStamp, DriveHistory, DriveModel, FailureCause, FailureLevel,
-    FirmwareVersion, SerialNumber, TroubleTicket, Vendor,
+    DailyRecord, DayStamp, DriveHistory, DriveModel, FailureCause, FailureLevel, FirmwareVersion,
+    SerialNumber, TroubleTicket, Vendor,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -12,6 +12,7 @@ use crate::config::FleetConfig;
 use crate::degradation::{FailurePlan, SmartTrajectory};
 use crate::drift::drift_multiplier;
 use crate::events::{daily_b_counts, daily_w_counts, EventContext};
+use crate::faults::{inject, FaultCounts};
 use crate::hazard::{
     expected_firmware_multiplier, firmware_multiplier, sample_firmware_seq, Bathtub,
     FIRMWARE_HAZARD_PER_RELEASE,
@@ -79,14 +80,27 @@ pub struct FailureRecord {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulatedDrive {
     history: DriveHistory,
+    raw_records: Vec<DailyRecord>,
     firmware: FirmwareVersion,
     truth: Option<FailureTruth>,
 }
 
 impl SimulatedDrive {
-    /// The drive's telemetry history.
+    /// The drive's telemetry history: the collector's view after sorting
+    /// by day and collapsing duplicated days (last record wins). With
+    /// fault injection enabled the *values* in here are still corrupted —
+    /// only delivery-order artefacts are normalised away.
     pub fn history(&self) -> &DriveHistory {
         &self.history
+    }
+
+    /// The raw emission stream exactly as the collector received it:
+    /// possibly duplicated, out of order, clock-skewed and value-corrupted
+    /// ([`crate::faults`]). With fault injection disabled this equals
+    /// [`SimulatedDrive::history`]'s records. This is what a sanitization
+    /// stage should consume.
+    pub fn raw_records(&self) -> &[DailyRecord] {
+        &self.raw_records
     }
 
     /// The drive's serial number.
@@ -145,6 +159,7 @@ pub struct SimulatedFleet {
     tickets: Vec<TroubleTicket>,
     failures: Vec<FailureRecord>,
     age_exposure_days: Vec<f64>,
+    injected_faults: FaultCounts,
 }
 
 /// A healthy drive awaiting the telemetry lottery.
@@ -217,11 +232,13 @@ impl SimulatedFleet {
                 // Consumer fleets skew young: shipments grow year over
                 // year, so the deployment-age density falls with age.
                 let age0 = MAX_AGE0 * rng.random_range(0.0..1.0f64).powf(1.5);
-                let fw_seq =
-                    sample_firmware_seq(age0, MAX_AGE0, vendor.firmware_count(), &mut rng);
+                let fw_seq = sample_firmware_seq(age0, MAX_AGE0, vendor.firmware_count(), &mut rng);
                 let model_ix = rng.random_range(0..models.len());
-                let fw_mult =
-                    firmware_multiplier(fw_seq, vendor.firmware_count(), FIRMWARE_HAZARD_PER_RELEASE);
+                let fw_mult = firmware_multiplier(
+                    fw_seq,
+                    vendor.firmware_count(),
+                    FIRMWARE_HAZARD_PER_RELEASE,
+                );
                 let lo = (age0 as usize).min(table_len);
                 let hi = ((age0 + horizon as f64) as usize).min(table_len + 1);
                 exposure_diff[lo] += 1.0;
@@ -264,7 +281,11 @@ impl SimulatedFleet {
                     });
                 }
             }
-            stats.push(VendorStats { vendor, population: n, failures });
+            stats.push(VendorStats {
+                vendor,
+                population: n,
+                failures,
+            });
         }
 
         // Healthy telemetry lottery.
@@ -277,16 +298,17 @@ impl SimulatedFleet {
         healthy_pool.sort_by_key(|s| s.serial);
 
         // Telemetry generation.
-        let mut drives =
-            Vec::with_capacity(failure_stubs.len() + healthy_pool.len());
+        let mut drives = Vec::with_capacity(failure_stubs.len() + healthy_pool.len());
         let mut tickets = Vec::with_capacity(failure_stubs.len());
         let mut failures = Vec::with_capacity(failure_stubs.len());
+        let mut injected_faults = FaultCounts::default();
         for stub in &failure_stubs {
             let level = stub.cause.level();
             let (sudden_fraction, silent_fraction) = match level {
-                FailureLevel::Drive => {
-                    (config.sudden_drive_fraction, config.smart_silent_drive_fraction)
-                }
+                FailureLevel::Drive => (
+                    config.sudden_drive_fraction,
+                    config.smart_silent_drive_fraction,
+                ),
                 FailureLevel::System => {
                     (config.sudden_system_fraction, config.smart_silent_fraction)
                 }
@@ -296,7 +318,10 @@ impl SimulatedFleet {
             // precursors — combined with its small failure count this is
             // why the per-vendor IV model performs poorly (Fig 11).
             let (sudden_fraction, silent_fraction) = match stub.serial.vendor() {
-                Vendor::IV => ((sudden_fraction * 3.0).min(0.8), (silent_fraction * 4.0).min(0.5)),
+                Vendor::IV => (
+                    (sudden_fraction * 3.0).min(0.8),
+                    (silent_fraction * 4.0).min(0.5),
+                ),
                 _ => (sudden_fraction, silent_fraction),
             };
             let smart_silent = rng.random_range(0.0..1.0) < silent_fraction;
@@ -328,7 +353,7 @@ impl SimulatedFleet {
             } else {
                 stub.failure_day
             };
-            let (history, poh, firmware) = generate_history(
+            let telemetry = generate_history(
                 config,
                 stub.serial,
                 stub.model_ix,
@@ -340,6 +365,13 @@ impl SimulatedFleet {
                 zombie_until,
                 &mut rng,
             );
+            let (history, raw_records, poh, firmware) = (
+                telemetry.history,
+                telemetry.raw_records,
+                telemetry.poh,
+                telemetry.firmware,
+            );
+            injected_faults.merge(&telemetry.fault_counts);
             failures.push(FailureRecord {
                 serial: stub.serial,
                 model: DriveModel::ALL[stub.model_ix as usize],
@@ -356,6 +388,7 @@ impl SimulatedFleet {
             ));
             drives.push(SimulatedDrive {
                 history,
+                raw_records,
                 firmware,
                 truth: Some(FailureTruth {
                     failure_day: DayStamp::new(stub.failure_day),
@@ -366,7 +399,7 @@ impl SimulatedFleet {
         for stub in &healthy_pool {
             let noisy_smart = rng.random_range(0.0..1.0) < config.noisy_smart_fraction;
             let noisy_os = rng.random_range(0.0..1.0) < config.noisy_os_fraction;
-            let (history, _, firmware) = generate_history(
+            let telemetry = generate_history(
                 config,
                 stub.serial,
                 stub.model_ix,
@@ -378,7 +411,13 @@ impl SimulatedFleet {
                 config.horizon_days - 1,
                 &mut rng,
             );
-            drives.push(SimulatedDrive { history, firmware, truth: None });
+            injected_faults.merge(&telemetry.fault_counts);
+            drives.push(SimulatedDrive {
+                history: telemetry.history,
+                raw_records: telemetry.raw_records,
+                firmware: telemetry.firmware,
+                truth: None,
+            });
         }
 
         let firmware_stats = fw_pop
@@ -408,6 +447,7 @@ impl SimulatedFleet {
             tickets,
             failures,
             age_exposure_days,
+            injected_faults,
         }
     }
 
@@ -452,12 +492,32 @@ impl SimulatedFleet {
     pub fn age_exposure_days(&self) -> &[f64] {
         &self.age_exposure_days
     }
+
+    /// Aggregate fault-injection counts over every telemetry drive
+    /// (all zero when `config.faults` is disabled).
+    pub fn injected_faults(&self) -> &FaultCounts {
+        &self.injected_faults
+    }
+}
+
+/// One drive's generated telemetry: the collector-view history, the raw
+/// emission stream, final power-on hours, firmware, and injected-fault
+/// accounting.
+struct GeneratedTelemetry {
+    history: DriveHistory,
+    raw_records: Vec<DailyRecord>,
+    poh: f64,
+    firmware: FirmwareVersion,
+    fault_counts: FaultCounts,
 }
 
 /// Generates one drive's telemetry history. `last_day` is the final day
 /// the machine may report (the failure day, or later for zombie
-/// reporters, or the horizon for healthy drives). Returns the history,
-/// the final cumulative power-on hours, and the firmware version.
+/// reporters, or the horizon for healthy drives).
+///
+/// Fault injection (when enabled) corrupts the emitted stream with a
+/// generator derived from `(config.seed, serial)` — it never draws from
+/// `rng`, so a faultless configuration produces a bit-identical fleet.
 #[allow(clippy::too_many_arguments)]
 fn generate_history(
     config: &FleetConfig,
@@ -470,7 +530,7 @@ fn generate_history(
     noisy_os: bool,
     last_day: i64,
     rng: &mut StdRng,
-) -> (DriveHistory, f64, FirmwareVersion) {
+) -> GeneratedTelemetry {
     let model = DriveModel::ALL[model_ix as usize];
     let firmware = FirmwareVersion::new(serial.vendor(), fw_seq);
     let profile = UsageProfile::sample(rng);
@@ -519,7 +579,21 @@ fn generate_history(
         });
     }
     let poh = trajectory.power_on_hours();
-    (DriveHistory::new(serial, model, records), poh, firmware)
+    let (raw_records, fault_counts) = inject(&config.faults, config.seed, serial, &records);
+    // The collector's history is built from the *corrupted* stream —
+    // construction sorts by day and keeps the last record of a
+    // duplicated day, which is exactly what a naive backend does. When
+    // injection is disabled `raw_records == records` and this is the
+    // pre-fault-layer history, bit for bit.
+    drop(records);
+    let history = DriveHistory::new(serial, model, raw_records.clone());
+    GeneratedTelemetry {
+        history,
+        raw_records,
+        poh,
+        firmware,
+        fault_counts,
+    }
 }
 
 #[cfg(test)]
@@ -540,17 +614,44 @@ mod tests {
         assert_eq!(a.drives()[0].history(), b.drives()[0].history());
         let c = SimulatedFleet::generate(&FleetConfig::tiny(6));
         assert!(
-            !(a.failures().len() == c.failures().len() && a.drives()[0].history() == c.drives()[0].history())
+            !(a.failures().len() == c.failures().len()
+                && a.drives()[0].history() == c.drives()[0].history())
         );
+    }
+
+    #[test]
+    fn faults_do_not_perturb_the_main_stream() {
+        use crate::config::FaultConfig;
+        let base = FleetConfig::tiny(9);
+        let clean = SimulatedFleet::generate(&base);
+        let faulty = SimulatedFleet::generate(&base.clone().with_faults(FaultConfig::uniform(0.1)));
+        // Injection draws from per-drive generators only, so the failure
+        // lottery, cohort selection and usage patterns are untouched.
+        assert_eq!(clean.failures().len(), faulty.failures().len());
+        let serials = |f: &SimulatedFleet| -> Vec<SerialNumber> {
+            f.drives().iter().map(|d| d.serial()).collect()
+        };
+        assert_eq!(serials(&clean), serials(&faulty));
+        assert!(faulty.injected_faults().total() > 0);
+        assert_eq!(clean.injected_faults().total(), 0);
+        // Without faults the raw emission stream IS the history.
+        for d in clean.drives().iter().take(50) {
+            assert_eq!(d.raw_records(), d.history().records());
+        }
+        // With faults at least some drive's emission differs from its
+        // collapsed history (duplicates / reordering / skew).
+        assert!(faulty
+            .drives()
+            .iter()
+            .any(|d| d.raw_records() != d.history().records()));
     }
 
     #[test]
     fn population_matches_fraction() {
         let fleet = tiny_fleet();
         for s in fleet.stats() {
-            let expect =
-                (s.vendor.paper_population() as f64 * fleet.config().population_fraction).round()
-                    as u64;
+            let expect = (s.vendor.paper_population() as f64 * fleet.config().population_fraction)
+                .round() as u64;
             assert_eq!(s.population, expect.max(1));
         }
     }
@@ -569,10 +670,16 @@ mod tests {
     fn all_failures_have_tickets_and_telemetry() {
         let fleet = tiny_fleet();
         assert_eq!(fleet.tickets().len(), fleet.failures().len());
-        let telemetry_failed =
-            fleet.drives().iter().filter(|d| d.truth().is_some()).count();
+        let telemetry_failed = fleet
+            .drives()
+            .iter()
+            .filter(|d| d.truth().is_some())
+            .count();
         assert_eq!(telemetry_failed, fleet.failures().len());
-        assert!(!fleet.failures().is_empty(), "tiny fleet should fail some drives");
+        assert!(
+            !fleet.failures().is_empty(),
+            "tiny fleet should fail some drives"
+        );
     }
 
     #[test]
@@ -593,7 +700,11 @@ mod tests {
             let last = d.history().last_day().unwrap();
             // Zombie reporters may trail up to the repair-delay cap; no
             // record can postdate the ticket window.
-            assert!(last <= truth.failure_day + 31, "last {last} vs {}", truth.failure_day);
+            assert!(
+                last <= truth.failure_day + 31,
+                "last {last} vs {}",
+                truth.failure_day
+            );
             if last == truth.failure_day {
                 at_failure += 1;
             }

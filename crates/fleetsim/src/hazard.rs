@@ -189,8 +189,7 @@ mod tests {
         for count in 2..=5u32 {
             for seq in 1..count {
                 assert!(
-                    firmware_multiplier(seq, count, 1.7)
-                        > firmware_multiplier(seq + 1, count, 1.7)
+                    firmware_multiplier(seq, count, 1.7) > firmware_multiplier(seq + 1, count, 1.7)
                 );
             }
         }

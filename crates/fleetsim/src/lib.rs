@@ -22,6 +22,12 @@
 //!   initial maintenance time days after the true failure ([`tickets`]).
 //! * **Covariate drift** (Fig 12/16): healthy baseline rates drift month
 //!   over month, eroding a frozen model's FPR ([`drift`]).
+//! * **Corrupted collection**: consumer telemetry arrives through a flaky
+//!   client/uplink path; an optional deterministic fault-injection layer
+//!   ([`faults`], configured via [`FaultConfig`]) corrupts the emitted
+//!   stream with sentinel SMART pages, stuck-at attributes, counter
+//!   rollovers, duplicated / reordered deliveries, missing attributes and
+//!   clock skew.
 //!
 //! # Example
 //!
@@ -41,10 +47,12 @@ mod config;
 pub mod degradation;
 pub mod drift;
 pub mod events;
+pub mod faults;
 mod fleet;
 pub mod hazard;
 pub mod tickets;
 pub mod usage;
 
-pub use config::{FleetConfig, STUDY_DAYS};
+pub use config::{FaultConfig, FleetConfig, STUDY_DAYS};
+pub use faults::FaultCounts;
 pub use fleet::{FailureRecord, FailureTruth, SimulatedDrive, SimulatedFleet, VendorStats};

@@ -41,7 +41,11 @@ pub fn make_ticket(
     rng: &mut StdRng,
 ) -> TroubleTicket {
     let delay = sample_repair_delay(mean_repair_delay, rng);
-    TroubleTicket::new(serial, mfpa_telemetry::DayStamp::new(failure_day + delay), cause)
+    TroubleTicket::new(
+        serial,
+        mfpa_telemetry::DayStamp::new(failure_day + delay),
+        cause,
+    )
 }
 
 #[cfg(test)]

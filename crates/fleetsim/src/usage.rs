@@ -104,8 +104,14 @@ mod tests {
     #[test]
     fn on_probability_controls_density() {
         let mut rng = StdRng::seed_from_u64(2);
-        let sparse = UsageProfile { daily_on_prob: 0.3, ..UsageProfile::always_on() };
-        let dense = UsageProfile { daily_on_prob: 0.9, ..UsageProfile::always_on() };
+        let sparse = UsageProfile {
+            daily_on_prob: 0.3,
+            ..UsageProfile::always_on()
+        };
+        let dense = UsageProfile {
+            daily_on_prob: 0.9,
+            ..UsageProfile::always_on()
+        };
         let s = sparse.observed_days(365, &mut rng).len();
         let d = dense.observed_days(365, &mut rng).len();
         assert!(d > s);

@@ -41,11 +41,14 @@ impl fmt::Display for MlError {
             MlError::LabelMismatch { rows, labels } => {
                 write!(f, "label count {labels} does not match row count {rows}")
             }
-            MlError::SingleClass => {
-                f.write_str("training set contains a single class; need both positives and negatives")
-            }
+            MlError::SingleClass => f.write_str(
+                "training set contains a single class; need both positives and negatives",
+            ),
             MlError::FeatureMismatch { expected, actual } => {
-                write!(f, "model fitted with {expected} features, input has {actual}")
+                write!(
+                    f,
+                    "model fitted with {expected} features, input has {actual}"
+                )
             }
             MlError::NotFitted => f.write_str("model has not been fitted"),
             MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
@@ -64,15 +67,15 @@ impl From<DatasetError> for MlError {
 
 /// Validates the common preconditions shared by every `fit`
 /// implementation and returns the number of features.
-pub(crate) fn check_fit_inputs(
-    x: &mfpa_dataset::Matrix,
-    y: &[bool],
-) -> Result<usize, MlError> {
+pub(crate) fn check_fit_inputs(x: &mfpa_dataset::Matrix, y: &[bool]) -> Result<usize, MlError> {
     if x.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
     if x.n_rows() != y.len() {
-        return Err(MlError::LabelMismatch { rows: x.n_rows(), labels: y.len() });
+        return Err(MlError::LabelMismatch {
+            rows: x.n_rows(),
+            labels: y.len(),
+        });
     }
     let pos = y.iter().filter(|&&l| l).count();
     if pos == 0 || pos == y.len() {
@@ -88,7 +91,10 @@ pub(crate) fn check_predict_inputs(
 ) -> Result<usize, MlError> {
     let expected = fitted_cols.ok_or(MlError::NotFitted)?;
     if x.n_cols() != expected {
-        return Err(MlError::FeatureMismatch { expected, actual: x.n_cols() });
+        return Err(MlError::FeatureMismatch {
+            expected,
+            actual: x.n_cols(),
+        });
     }
     Ok(expected)
 }
@@ -103,7 +109,10 @@ mod tests {
         assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
         assert!(MlError::SingleClass.to_string().contains("single class"));
         assert!(MlError::NotFitted.to_string().contains("not been fitted"));
-        let e = MlError::FeatureMismatch { expected: 4, actual: 3 };
+        let e = MlError::FeatureMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains("4"));
     }
 
@@ -122,9 +131,15 @@ mod tests {
             check_fit_inputs(&x, &[true]),
             Err(MlError::LabelMismatch { .. })
         ));
-        assert_eq!(check_fit_inputs(&x, &[true, true]), Err(MlError::SingleClass));
+        assert_eq!(
+            check_fit_inputs(&x, &[true, true]),
+            Err(MlError::SingleClass)
+        );
         let empty = Matrix::with_cols(1);
-        assert_eq!(check_fit_inputs(&empty, &[]), Err(MlError::EmptyTrainingSet));
+        assert_eq!(
+            check_fit_inputs(&empty, &[]),
+            Err(MlError::EmptyTrainingSet)
+        );
     }
 
     #[test]

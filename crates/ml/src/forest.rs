@@ -6,9 +6,9 @@
 //! result is independent of scheduling).
 
 use mfpa_dataset::Matrix;
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
@@ -123,7 +123,8 @@ impl RandomForest {
         let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
         let bx = x.select_rows(&indices);
         let bt: Vec<f64> = indices.iter().map(|&i| targets[i]).collect();
-        let mut tree = DecisionTree::new(params).with_seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut tree =
+            DecisionTree::new(params).with_seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         tree.fit_regression(&bx, &bt, None)?;
         Ok(tree)
     }
@@ -261,7 +262,11 @@ mod tests {
         let (x, y) = clusters(60, 9);
         let mut rf = RandomForest::new(5, 4).with_seed(1);
         rf.fit(&x, &y).unwrap();
-        assert!(rf.predict_proba(&x).unwrap().iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(rf
+            .predict_proba(&x)
+            .unwrap()
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p)));
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! shrinkage. Optional row subsampling makes it stochastic GBDT.
 
 use mfpa_dataset::Matrix;
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
@@ -74,7 +74,10 @@ impl Gbdt {
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn with_subsample(mut self, fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "subsample fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "subsample fraction must be in (0, 1]"
+        );
         self.subsample = fraction;
         self
     }
@@ -162,8 +165,11 @@ impl Classifier for Gbdt {
             let grads: Vec<f64> = targets.iter().zip(&probs).map(|(t, p)| t - p).collect();
             let hess: Vec<f64> = probs.iter().map(|p| (p * (1.0 - p)).max(1e-6)).collect();
 
-            let mut tree = DecisionTree::new(params)
-                .with_seed(self.seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9));
+            let mut tree = DecisionTree::new(params).with_seed(
+                self.seed
+                    .wrapping_add(round as u64)
+                    .wrapping_mul(0x9E37_79B9),
+            );
             if self.subsample < 1.0 {
                 all_rows.shuffle(&mut rng);
                 let k = ((n as f64) * self.subsample).ceil().max(2.0) as usize;
@@ -186,7 +192,11 @@ impl Classifier for Gbdt {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        Ok(self.decision_function(x)?.into_iter().map(sigmoid).collect())
+        Ok(self
+            .decision_function(x)?
+            .into_iter()
+            .map(sigmoid)
+            .collect())
     }
 
     fn name(&self) -> &'static str {
@@ -232,7 +242,11 @@ mod tests {
                 .zip(&p)
                 .map(|(&t, &pi)| {
                     let pi = pi.clamp(1e-9, 1.0 - 1e-9);
-                    if t { pi.ln() } else { (1.0 - pi).ln() }
+                    if t {
+                        pi.ln()
+                    } else {
+                        (1.0 - pi).ln()
+                    }
                 })
                 .sum::<f64>()
                 / y.len() as f64
@@ -277,7 +291,10 @@ mod tests {
     fn invalid_learning_rate_rejected() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         let mut g = Gbdt::new(5, 0.0, 2);
-        assert!(matches!(g.fit(&x, &[true, false]), Err(MlError::InvalidParameter(_))));
+        assert!(matches!(
+            g.fit(&x, &[true, false]),
+            Err(MlError::InvalidParameter(_))
+        ));
     }
 
     #[test]

@@ -134,7 +134,9 @@ where
     F: Fn(&ParamSet) -> Box<dyn Classifier>,
 {
     if folds.is_empty() {
-        return Err(MlError::InvalidParameter("grid search needs at least one fold".into()));
+        return Err(MlError::InvalidParameter(
+            "grid search needs at least one fold".into(),
+        ));
     }
     let mut trials = Vec::new();
     for params in grid.candidates() {
@@ -162,7 +164,7 @@ where
     }
     let best = trials
         .iter()
-        .max_by(|a, b| a.mean_auc.partial_cmp(&b.mean_auc).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.mean_auc.total_cmp(&b.mean_auc))
         .expect("grid always has at least one candidate");
     Ok(GridSearchResult {
         best_params: best.params.clone(),
@@ -178,8 +180,9 @@ mod tests {
     use mfpa_dataset::cv::kfold;
 
     fn toy() -> (Matrix, Vec<bool>) {
-        let rows: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![i as f64 / 10.0 + if i % 2 == 0 { 5.0 } else { 0.0 }]).collect();
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 10.0 + if i % 2 == 0 { 5.0 } else { 0.0 }])
+            .collect();
         let y: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
@@ -191,7 +194,10 @@ mod tests {
 
     #[test]
     fn cartesian_product_size() {
-        let g = ParamGrid::new().add("a", &[1.0, 2.0]).add("b", &[1.0, 2.0, 3.0]).add("c", &[0.0]);
+        let g = ParamGrid::new()
+            .add("a", &[1.0, 2.0])
+            .add("b", &[1.0, 2.0, 3.0])
+            .add("c", &[0.0]);
         assert_eq!(g.candidates().len(), 6);
     }
 
@@ -221,7 +227,10 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.1], vec![0.9]]).unwrap();
         let y = [false, true, false, true];
         // Fold trains on all-negative rows → skipped; candidate scores 0.
-        let folds = vec![Fold { train: vec![0, 2], validate: vec![1, 3] }];
+        let folds = vec![Fold {
+            train: vec![0, 2],
+            validate: vec![1, 3],
+        }];
         let res = grid_search(&ParamGrid::new(), &folds, &x, &y, |_| {
             Box::new(GaussianNb::new())
         })

@@ -120,7 +120,11 @@ impl Classifier for LogisticRegression {
             vb = momentum * vb - self.learning_rate * gb / n;
             bias += vb;
         }
-        self.fitted = Some(Fitted { scaler, weights: w, bias });
+        self.fitted = Some(Fitted {
+            scaler,
+            weights: w,
+            bias,
+        });
         Ok(())
     }
 
@@ -156,7 +160,10 @@ mod tests {
         for i in 0..n {
             let pos = i % 2 == 0;
             let c = if pos { 1.2 } else { -1.2 };
-            rows.push(vec![c + rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]);
+            rows.push(vec![
+                c + rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
             y.push(pos);
         }
         (Matrix::from_rows(&rows).unwrap(), y)
@@ -188,7 +195,12 @@ mod tests {
         weak.fit(&x, &y).unwrap();
         strong.fit(&x, &y).unwrap();
         let norm = |m: &LogisticRegression| -> f64 {
-            m.weights().unwrap().iter().map(|w| w * w).sum::<f64>().sqrt()
+            m.weights()
+                .unwrap()
+                .iter()
+                .map(|w| w * w)
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(norm(&strong) < norm(&weak));
     }

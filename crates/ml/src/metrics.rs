@@ -150,7 +150,7 @@ pub fn roc_curve(y_true: &[bool], scores: &[f64]) -> Vec<(f64, f64)> {
     let n_pos = y_true.iter().filter(|&&l| l).count() as f64;
     let n_neg = y_true.len() as f64 - n_pos;
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut points = vec![(0.0, 0.0)];
     let (mut tp, mut fp) = (0.0, 0.0);
@@ -200,7 +200,7 @@ pub fn auc(y_true: &[bool], scores: &[f64]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
 
     // Midranks: ties share the average of the ranks they would occupy.
     let mut rank_sum_pos = 0.0;
@@ -231,7 +231,7 @@ pub fn auc(y_true: &[bool], scores: &[f64]) -> f64 {
 /// SMART-threshold baseline operates at FPR ≈ 0.1%).
 pub fn tpr_at_fpr(y_true: &[bool], scores: &[f64], max_fpr: f64) -> (f64, f64) {
     let mut thresholds: Vec<f64> = scores.to_vec();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.sort_by(|a, b| a.total_cmp(b));
     thresholds.dedup();
     let mut best = (0.0, f64::INFINITY);
     for &t in &thresholds {

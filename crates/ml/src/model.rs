@@ -37,7 +37,11 @@ pub trait Classifier: Send {
     ///
     /// Same as [`Classifier::predict_proba`].
     fn predict(&self, x: &Matrix) -> Result<Vec<bool>, MlError> {
-        Ok(self.predict_proba(x)?.into_iter().map(|p| p >= 0.5).collect())
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
     }
 
     /// A short human-readable model name (used in experiment tables).

@@ -50,7 +50,11 @@ impl GaussianNb {
     /// Creates a classifier with the default variance smoothing (`1e-9`
     /// of the largest feature variance, sklearn-compatible).
     pub fn new() -> Self {
-        GaussianNb { var_smoothing: 1e-9, log1p: false, fitted: None }
+        GaussianNb {
+            var_smoothing: 1e-9,
+            log1p: false,
+            fitted: None,
+        }
     }
 
     /// Applies a sign-preserving `log1p` to every feature before fitting
@@ -80,7 +84,10 @@ impl GaussianNb {
     ///
     /// Panics if `fraction` is negative or non-finite.
     pub fn with_var_smoothing(mut self, fraction: f64) -> Self {
-        assert!(fraction.is_finite() && fraction >= 0.0, "smoothing must be >= 0");
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "smoothing must be >= 0"
+        );
         self.var_smoothing = fraction;
         self
     }
@@ -216,8 +223,13 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_produce_nan() {
-        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 0.1], vec![1.0, 0.9]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 0.1],
+            vec![1.0, 0.9],
+        ])
+        .unwrap();
         let y = [false, true, false, true];
         let mut nb = GaussianNb::new();
         nb.fit(&x, &y).unwrap();
@@ -241,7 +253,9 @@ mod tests {
         let y = [false, false, false, false, false, true];
         let mut nb = GaussianNb::new().with_var_smoothing(1e-2);
         nb.fit(&x, &y).unwrap();
-        let p = nb.predict_proba(&Matrix::from_rows(&[vec![0.5]]).unwrap()).unwrap();
+        let p = nb
+            .predict_proba(&Matrix::from_rows(&[vec![0.5]]).unwrap())
+            .unwrap();
         assert!(p[0].is_finite());
     }
 
@@ -253,7 +267,10 @@ mod tests {
         let (xt, y) = toy();
         let mut nb = GaussianNb::new();
         nb.fit(&xt, &y).unwrap();
-        assert!(matches!(nb.predict_proba(&x), Err(MlError::FeatureMismatch { .. })));
+        assert!(matches!(
+            nb.predict_proba(&x),
+            Err(MlError::FeatureMismatch { .. })
+        ));
     }
 
     #[test]

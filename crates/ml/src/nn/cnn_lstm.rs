@@ -6,10 +6,10 @@
 //! binary cross-entropy, minibatched, with global-norm gradient clipping.
 
 use mfpa_dataset::{Matrix, StandardScaler};
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
@@ -140,7 +140,15 @@ impl CnnLstm {
         let h = lstm_cache.last_hidden(self.hidden);
         let logit = state.dense.forward(&h)[0];
         let p = 1.0 / (1.0 + (-logit.clamp(-60.0, 60.0)).exp());
-        (p, ForwardCache { pre, act, lstm_cache, h })
+        (
+            p,
+            ForwardCache {
+                pre,
+                act,
+                lstm_cache,
+                h,
+            },
+        )
     }
 }
 
@@ -174,7 +182,12 @@ impl Classifier for CnnLstm {
         let t_out = conv.out_steps(self.steps);
         let lstm = Lstm::new(self.conv_channels, self.hidden, &mut rng);
         let dense = Dense::new(self.hidden, 1, &mut rng);
-        let mut state = State { scaler, conv, lstm, dense };
+        let mut state = State {
+            scaler,
+            conv,
+            lstm,
+            dense,
+        };
 
         let n = xs.n_rows();
         let mut order: Vec<usize> = (0..n).collect();
@@ -245,7 +258,10 @@ impl Classifier for CnnLstm {
         check_predict_inputs(x, self.state.as_ref().map(|_| self.input_width()))?;
         let state = self.state.as_ref().expect("checked above");
         let xs = state.scaler.transform(x)?;
-        Ok(xs.rows().map(|row| self.forward_sample(state, row).0).collect())
+        Ok(xs
+            .rows()
+            .map(|row| self.forward_sample(state, row).0)
+            .collect())
     }
 
     fn name(&self) -> &'static str {
@@ -305,7 +321,11 @@ mod tests {
         let (x, y) = trend_data(40, 4, 2, 5);
         let mut m = CnnLstm::new(4, 2).with_epochs(5).with_seed(1);
         m.fit(&x, &y).unwrap();
-        assert!(m.predict_proba(&x).unwrap().iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(m
+            .predict_proba(&x)
+            .unwrap()
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p)));
     }
 
     #[test]

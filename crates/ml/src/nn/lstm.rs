@@ -64,7 +64,12 @@ impl Lstm {
         for v in w.value.iter_mut() {
             *v *= 0.8;
         }
-        Lstm { in_dim, hidden, w, b }
+        Lstm {
+            in_dim,
+            hidden,
+            w,
+            b,
+        }
     }
 
     /// Input width per step.
@@ -88,7 +93,10 @@ impl Lstm {
         assert_eq!(x.len(), steps * self.in_dim, "lstm input size mismatch");
         let hdim = self.hidden;
         let z_dim = self.in_dim + hdim;
-        let mut cache = LstmCache { steps, ..LstmCache::default() };
+        let mut cache = LstmCache {
+            steps,
+            ..LstmCache::default()
+        };
         let mut h_prev = vec![0.0; hdim];
         let mut c_prev = vec![0.0; hdim];
         for t in 0..steps {
@@ -99,16 +107,14 @@ impl Lstm {
             let mut pre = vec![0.0; GATES * hdim];
             for (row, p) in pre.iter_mut().enumerate() {
                 let w_row = &self.w.value[row * z_dim..(row + 1) * z_dim];
-                *p = w_row.iter().zip(&z).map(|(a, b)| a * b).sum::<f64>()
-                    + self.b.value[row];
+                *p = w_row.iter().zip(&z).map(|(a, b)| a * b).sum::<f64>() + self.b.value[row];
             }
             let i: Vec<f64> = (0..hdim).map(|j| sigmoid(pre[j])).collect();
             let f: Vec<f64> = (0..hdim).map(|j| sigmoid(pre[hdim + j])).collect();
             let g: Vec<f64> = (0..hdim).map(|j| pre[2 * hdim + j].tanh()).collect();
             let o: Vec<f64> = (0..hdim).map(|j| sigmoid(pre[3 * hdim + j])).collect();
 
-            let c: Vec<f64> =
-                (0..hdim).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
+            let c: Vec<f64> = (0..hdim).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
             let h: Vec<f64> = (0..hdim).map(|j| o[j] * c[j].tanh()).collect();
 
             cache.z.push(z);
@@ -138,8 +144,11 @@ impl Lstm {
         for t in (0..steps).rev() {
             let [i, f, g, o] = &cache.gates[t];
             let c = &cache.c[t];
-            let c_prev: Vec<f64> =
-                if t == 0 { vec![0.0; hdim] } else { cache.c[t - 1].clone() };
+            let c_prev: Vec<f64> = if t == 0 {
+                vec![0.0; hdim]
+            } else {
+                cache.c[t - 1].clone()
+            };
             let z = &cache.z[t];
 
             // Gate pre-activation gradients, stacked (i, f, g, o).
@@ -172,8 +181,7 @@ impl Lstm {
                     dz[k] += dp * w_row[k];
                 }
             }
-            dx[t * self.in_dim..(t + 1) * self.in_dim]
-                .copy_from_slice(&dz[..self.in_dim]);
+            dx[t * self.in_dim..(t + 1) * self.in_dim].copy_from_slice(&dz[..self.in_dim]);
             dh = dz[self.in_dim..].to_vec();
         }
         dx
@@ -214,12 +222,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut lstm = Lstm::new(2, 3, &mut rng);
         let steps = 4;
-        let x: Vec<f64> = (0..steps * 2).map(|i| ((i as f64) * 0.7).sin() * 0.5).collect();
+        let x: Vec<f64> = (0..steps * 2)
+            .map(|i| ((i as f64) * 0.7).sin() * 0.5)
+            .collect();
 
         // Loss = sum of last hidden state.
-        let loss = |l: &Lstm, xv: &[f64]| -> f64 {
-            l.forward(xv, steps).last_hidden(3).iter().sum()
-        };
+        let loss =
+            |l: &Lstm, xv: &[f64]| -> f64 { l.forward(xv, steps).last_hidden(3).iter().sum() };
         let cache = lstm.forward(&x, steps);
         let dx = lstm.backward(&cache, &[1.0, 1.0, 1.0]);
 
@@ -240,7 +249,11 @@ mod tests {
             let fm = loss(&lstm, &x);
             lstm.w.value[k] = orig;
             let num = (fp - fm) / (2.0 * eps);
-            assert!((lstm.w.grad[k] - num).abs() < 1e-5, "dw[{k}]: {} vs {num}", lstm.w.grad[k]);
+            assert!(
+                (lstm.w.grad[k] - num).abs() < 1e-5,
+                "dw[{k}]: {} vs {num}",
+                lstm.w.grad[k]
+            );
         }
         for k in 0..lstm.b.len() {
             let orig = lstm.b.value[k];

@@ -9,8 +9,8 @@
 //! wires them together and implements [`crate::Classifier`] over rows
 //! that are flattened `(steps × features)` sequences.
 
-pub mod conv1d;
 mod cnn_lstm;
+pub mod conv1d;
 pub mod dense;
 pub mod lstm;
 pub mod param;

@@ -1,8 +1,8 @@
 //! Flat parameter tensors with gradient and Adam moment buffers.
 
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::RngExt;
+use serde::{Deserialize, Serialize};
 
 /// A flat parameter vector with its gradient accumulator and Adam
 /// first/second-moment state.
@@ -19,7 +19,12 @@ pub struct Param {
 impl Param {
     /// Creates a zero-initialised parameter of length `n`.
     pub fn zeros(n: usize) -> Self {
-        Param { value: vec![0.0; n], grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Param {
+            value: vec![0.0; n],
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Creates a parameter with Xavier-uniform initialisation for the
@@ -27,7 +32,12 @@ impl Param {
     pub fn xavier(n: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
         let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
         let value = (0..n).map(|_| rng.random_range(-bound..bound)).collect();
-        Param { value, grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Param {
+            value,
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Number of scalar parameters.

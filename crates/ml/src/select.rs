@@ -81,20 +81,32 @@ where
             }
         }
         let (pos, score) = round_best.expect("remaining is non-empty");
-        let improvement = if best_score.is_finite() { score - best_score } else { score };
+        let improvement = if best_score.is_finite() {
+            score - best_score
+        } else {
+            score
+        };
         if improvement < min_improvement {
             break;
         }
         let feature = remaining.remove(pos);
         selected.push(feature);
         best_score = score;
-        trace.push(SfsStep { added: feature, score, subset: selected.clone() });
+        trace.push(SfsStep {
+            added: feature,
+            score,
+            subset: selected.clone(),
+        });
     }
 
     if best_score.is_infinite() {
         best_score = 0.0;
     }
-    SfsResult { selected, best_score, trace }
+    SfsResult {
+        selected,
+        best_score,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -105,12 +117,7 @@ mod tests {
     fn picks_best_single_feature_first() {
         // Additive scores: f0 = 0.3, f1 = 0.5, f2 = 0.1.
         let weights = [0.3, 0.5, 0.1];
-        let r = sequential_forward_selection(
-            3,
-            |s| s.iter().map(|&i| weights[i]).sum(),
-            3,
-            1e-9,
-        );
+        let r = sequential_forward_selection(3, |s| s.iter().map(|&i| weights[i]).sum(), 3, 1e-9);
         assert_eq!(r.selected, vec![1, 0, 2]);
         assert!((r.best_score - 0.9).abs() < 1e-12);
         assert_eq!(r.trace.len(), 3);
@@ -123,12 +130,8 @@ mod tests {
     #[test]
     fn stops_when_no_improvement() {
         // Only feature 0 matters; the rest add exactly nothing.
-        let r = sequential_forward_selection(
-            4,
-            |s| if s.contains(&0) { 1.0 } else { 0.0 },
-            4,
-            1e-6,
-        );
+        let r =
+            sequential_forward_selection(4, |s| if s.contains(&0) { 1.0 } else { 0.0 }, 4, 1e-6);
         assert_eq!(r.selected, vec![0]);
         assert_eq!(r.trace.len(), 1);
     }
@@ -145,7 +148,11 @@ mod tests {
         let score = |s: &[usize]| -> f64 {
             let has_signal = s.contains(&0) || s.contains(&1);
             let extra = if s.contains(&2) { 0.2 } else { 0.0 };
-            if has_signal { 0.8 + extra } else { extra }
+            if has_signal {
+                0.8 + extra
+            } else {
+                extra
+            }
         };
         let r = sequential_forward_selection(3, score, 3, 1e-6);
         assert_eq!(r.selected.len(), 2);

@@ -8,9 +8,9 @@
 //! calibration maps margins to probabilities.
 
 use mfpa_dataset::{Matrix, StandardScaler};
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
@@ -54,7 +54,12 @@ impl LinearSvm {
     /// Creates an SVM with regularisation strength `lambda` and the given
     /// number of passes over the data.
     pub fn new(lambda: f64, epochs: usize) -> Self {
-        LinearSvm { lambda, epochs: epochs.max(1), seed: 0, fitted: None }
+        LinearSvm {
+            lambda,
+            epochs: epochs.max(1),
+            seed: 0,
+            fitted: None,
+        }
     }
 
     /// Sets the RNG seed (sample order).
@@ -128,8 +133,7 @@ impl Classifier for LinearSvm {
             let i = rng.random_range(0..n);
             let row = xs.row(i);
             let eta = 1.0 / (self.lambda * t as f64);
-            let margin = labels[i]
-                * (row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + bias);
+            let margin = labels[i] * (row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + bias);
             // Pegasos update: shrink, then add the hinge sub-gradient when
             // the margin constraint is violated.
             let shrink = 1.0 - eta * self.lambda;
@@ -149,7 +153,13 @@ impl Classifier for LinearSvm {
             .map(|row| row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + bias)
             .collect();
         let (platt_a, platt_b) = fit_platt(&margins, y);
-        self.fitted = Some(Fitted { scaler, weights: w, bias, platt_a, platt_b });
+        self.fitted = Some(Fitted {
+            scaler,
+            weights: w,
+            bias,
+            platt_a,
+            platt_b,
+        });
         Ok(())
     }
 
@@ -179,7 +189,10 @@ mod tests {
         for i in 0..n {
             let pos = i % 2 == 0;
             let c = if pos { gap } else { -gap };
-            rows.push(vec![c + rng.random_range(-1.0..1.0), c + rng.random_range(-1.0..1.0)]);
+            rows.push(vec![
+                c + rng.random_range(-1.0..1.0),
+                c + rng.random_range(-1.0..1.0),
+            ]);
             y.push(pos);
         }
         (Matrix::from_rows(&rows).unwrap(), y)
@@ -203,7 +216,7 @@ mod tests {
         let p = svm.predict_proba(&x).unwrap();
         // Platt scaling is monotone (a > 0 on separable data).
         let mut pairs: Vec<(f64, f64)> = m.into_iter().zip(p).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in pairs.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-12);
         }
@@ -213,8 +226,7 @@ mod tests {
     fn scale_invariance_through_internal_standardisation() {
         let (x, y) = blobs(200, 2.0, 5);
         // Multiply one feature by 1e6: internal scaling should cope.
-        let rows: Vec<Vec<f64>> =
-            x.rows().map(|r| vec![r[0] * 1e6, r[1]]).collect();
+        let rows: Vec<Vec<f64>> = x.rows().map(|r| vec![r[0] * 1e6, r[1]]).collect();
         let xb = Matrix::from_rows(&rows).unwrap();
         let mut svm = LinearSvm::new(0.01, 30).with_seed(6);
         svm.fit(&xb, &y).unwrap();

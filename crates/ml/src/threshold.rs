@@ -28,12 +28,20 @@ pub struct ThresholdRule {
 impl ThresholdRule {
     /// Alarm when `column > value`.
     pub fn above(column: usize, value: f64) -> Self {
-        ThresholdRule { column, value, alarm_above: true }
+        ThresholdRule {
+            column,
+            value,
+            alarm_above: true,
+        }
     }
 
     /// Alarm when `column < value`.
     pub fn below(column: usize, value: f64) -> Self {
-        ThresholdRule { column, value, alarm_above: false }
+        ThresholdRule {
+            column,
+            value,
+            alarm_above: false,
+        }
     }
 
     /// Whether the rule fires on the given row.
@@ -107,7 +115,13 @@ impl Classifier for ThresholdDetector {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         check_predict_inputs(x, Some(self.n_features))?;
         Ok(x.rows()
-            .map(|row| if self.rules.iter().any(|r| r.fires(row)) { 1.0 } else { 0.0 })
+            .map(|row| {
+                if self.rules.iter().any(|r| r.fires(row)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect())
     }
 
@@ -162,6 +176,9 @@ mod tests {
     fn width_mismatch_rejected() {
         let det = ThresholdDetector::new(2, vec![]).unwrap();
         let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
-        assert!(matches!(det.predict_proba(&x), Err(MlError::FeatureMismatch { .. })));
+        assert!(matches!(
+            det.predict_proba(&x),
+            Err(MlError::FeatureMismatch { .. })
+        ));
     }
 }

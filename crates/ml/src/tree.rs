@@ -6,10 +6,10 @@
 //! (regression on gradients with Newton leaf values `Σg / Σh`).
 
 use mfpa_dataset::Matrix;
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
@@ -117,7 +117,13 @@ struct BuildCtx<'a> {
 impl DecisionTree {
     /// Creates an unfitted tree.
     pub fn new(params: TreeParams) -> Self {
-        DecisionTree { params, seed: 0, nodes: Vec::new(), n_features: None, importances: Vec::new() }
+        DecisionTree {
+            params,
+            seed: 0,
+            nodes: Vec::new(),
+            n_features: None,
+            importances: Vec::new(),
+        }
     }
 
     /// Sets the RNG seed used for feature subsampling.
@@ -154,11 +160,17 @@ impl DecisionTree {
             return Err(MlError::EmptyTrainingSet);
         }
         if targets.len() != x.n_rows() {
-            return Err(MlError::LabelMismatch { rows: x.n_rows(), labels: targets.len() });
+            return Err(MlError::LabelMismatch {
+                rows: x.n_rows(),
+                labels: targets.len(),
+            });
         }
         if let Some(h) = hessians {
             if h.len() != x.n_rows() {
-                return Err(MlError::LabelMismatch { rows: x.n_rows(), labels: h.len() });
+                return Err(MlError::LabelMismatch {
+                    rows: x.n_rows(),
+                    labels: h.len(),
+                });
             }
         }
         self.nodes.clear();
@@ -239,14 +251,27 @@ impl DecisionTree {
             Some(h) => indices.iter().map(|&i| h[i]).sum(),
             None => indices.len() as f64,
         };
-        let value = if sum_h.abs() > 1e-12 { sum_t / sum_h } else { 0.0 };
-        self.nodes.push(Node { feature: LEAF, threshold: 0.0, left: 0, right: 0, value });
+        let value = if sum_h.abs() > 1e-12 {
+            sum_t / sum_h
+        } else {
+            0.0
+        };
+        self.nodes.push(Node {
+            feature: LEAF,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+        });
 
         if depth >= ctx.params.max_depth || indices.len() < ctx.params.min_samples_split {
             return node_ix;
         }
         // Pure node (zero SSE): nothing left to explain.
-        let sum_sq: f64 = indices.iter().map(|&i| ctx.targets[i] * ctx.targets[i]).sum();
+        let sum_sq: f64 = indices
+            .iter()
+            .map(|&i| ctx.targets[i] * ctx.targets[i])
+            .sum();
         let node_sse = sum_sq - sum_t * sum_t / indices.len() as f64;
         if node_sse < 1e-12 {
             return node_ix;
@@ -282,8 +307,12 @@ impl DecisionTree {
         let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
         for feature in candidates {
             pairs.clear();
-            pairs.extend(indices.iter().map(|&i| (ctx.x.get(i, feature), ctx.targets[i])));
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            pairs.extend(
+                indices
+                    .iter()
+                    .map(|&i| (ctx.x.get(i, feature), ctx.targets[i])),
+            );
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             if pairs.first().map(|p| p.0) == pairs.last().map(|p| p.0) {
                 continue; // constant feature in this node
             }
@@ -336,7 +365,11 @@ impl Classifier for DecisionTree {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        Ok(self.predict_values(x)?.into_iter().map(|v| v.clamp(0.0, 1.0)).collect())
+        Ok(self
+            .predict_values(x)?
+            .into_iter()
+            .map(|v| v.clamp(0.0, 1.0))
+            .collect())
     }
 
     fn name(&self) -> &'static str {
@@ -373,8 +406,10 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_single_leaf() {
         let (x, y) = xor_data();
-        let mut t =
-            DecisionTree::new(TreeParams { max_depth: 0, ..TreeParams::default() });
+        let mut t = DecisionTree::new(TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        });
         t.fit(&x, &y).unwrap();
         assert_eq!(t.n_nodes(), 1);
         assert_eq!(t.depth(), 0);
@@ -430,7 +465,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed_with_subsampled_features() {
         let (x, y) = xor_data();
-        let params = TreeParams { max_features: MaxFeatures::Count(1), ..TreeParams::default() };
+        let params = TreeParams {
+            max_features: MaxFeatures::Count(1),
+            ..TreeParams::default()
+        };
         let mut a = DecisionTree::new(params).with_seed(3);
         let mut b = DecisionTree::new(params).with_seed(3);
         a.fit(&x, &y).unwrap();
@@ -450,7 +488,10 @@ mod tests {
     #[test]
     fn errors_on_degenerate_inputs() {
         let mut t = DecisionTree::new(TreeParams::default());
-        assert_eq!(t.fit(&Matrix::with_cols(2), &[]), Err(MlError::EmptyTrainingSet));
+        assert_eq!(
+            t.fit(&Matrix::with_cols(2), &[]),
+            Err(MlError::EmptyTrainingSet)
+        );
         let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
         assert!(t.predict_values(&x).is_err()); // not fitted
     }

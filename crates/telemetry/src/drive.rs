@@ -21,9 +21,7 @@ use crate::firmware::FirmwareNaming;
 /// assert_eq!(Vendor::I.paper_failures(), 1_850);
 /// assert!((Vendor::I.paper_replacement_rate() - 0.0068).abs() < 1e-4);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Vendor {
     /// Manufacturer I — largest replacement rate (0.0068).
     I,
@@ -129,9 +127,7 @@ impl fmt::Display for Vendor {
 }
 
 /// Drive capacity of the studied models.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Capacity {
     /// 128 GB.
     Gb128,
@@ -195,18 +191,78 @@ impl DriveModel {
     /// The 12 studied models: 3 + 4 + 3 + 2 across vendors I–IV, spanning
     /// 128 GB – 1 TB and 32 – 96 NAND layers.
     pub const ALL: [DriveModel; 12] = [
-        DriveModel { vendor: Vendor::I, ordinal: 1, capacity: Capacity::Gb128, layers: 32 },
-        DriveModel { vendor: Vendor::I, ordinal: 2, capacity: Capacity::Gb256, layers: 64 },
-        DriveModel { vendor: Vendor::I, ordinal: 3, capacity: Capacity::Gb512, layers: 64 },
-        DriveModel { vendor: Vendor::II, ordinal: 1, capacity: Capacity::Gb128, layers: 32 },
-        DriveModel { vendor: Vendor::II, ordinal: 2, capacity: Capacity::Gb256, layers: 64 },
-        DriveModel { vendor: Vendor::II, ordinal: 3, capacity: Capacity::Gb512, layers: 96 },
-        DriveModel { vendor: Vendor::II, ordinal: 4, capacity: Capacity::Tb1, layers: 96 },
-        DriveModel { vendor: Vendor::III, ordinal: 1, capacity: Capacity::Gb256, layers: 64 },
-        DriveModel { vendor: Vendor::III, ordinal: 2, capacity: Capacity::Gb512, layers: 96 },
-        DriveModel { vendor: Vendor::III, ordinal: 3, capacity: Capacity::Tb1, layers: 96 },
-        DriveModel { vendor: Vendor::IV, ordinal: 1, capacity: Capacity::Gb256, layers: 32 },
-        DriveModel { vendor: Vendor::IV, ordinal: 2, capacity: Capacity::Gb512, layers: 64 },
+        DriveModel {
+            vendor: Vendor::I,
+            ordinal: 1,
+            capacity: Capacity::Gb128,
+            layers: 32,
+        },
+        DriveModel {
+            vendor: Vendor::I,
+            ordinal: 2,
+            capacity: Capacity::Gb256,
+            layers: 64,
+        },
+        DriveModel {
+            vendor: Vendor::I,
+            ordinal: 3,
+            capacity: Capacity::Gb512,
+            layers: 64,
+        },
+        DriveModel {
+            vendor: Vendor::II,
+            ordinal: 1,
+            capacity: Capacity::Gb128,
+            layers: 32,
+        },
+        DriveModel {
+            vendor: Vendor::II,
+            ordinal: 2,
+            capacity: Capacity::Gb256,
+            layers: 64,
+        },
+        DriveModel {
+            vendor: Vendor::II,
+            ordinal: 3,
+            capacity: Capacity::Gb512,
+            layers: 96,
+        },
+        DriveModel {
+            vendor: Vendor::II,
+            ordinal: 4,
+            capacity: Capacity::Tb1,
+            layers: 96,
+        },
+        DriveModel {
+            vendor: Vendor::III,
+            ordinal: 1,
+            capacity: Capacity::Gb256,
+            layers: 64,
+        },
+        DriveModel {
+            vendor: Vendor::III,
+            ordinal: 2,
+            capacity: Capacity::Gb512,
+            layers: 96,
+        },
+        DriveModel {
+            vendor: Vendor::III,
+            ordinal: 3,
+            capacity: Capacity::Tb1,
+            layers: 96,
+        },
+        DriveModel {
+            vendor: Vendor::IV,
+            ordinal: 1,
+            capacity: Capacity::Gb256,
+            layers: 32,
+        },
+        DriveModel {
+            vendor: Vendor::IV,
+            ordinal: 2,
+            capacity: Capacity::Gb512,
+            layers: 64,
+        },
     ];
 
     /// The manufacturer of this model.
@@ -277,9 +333,7 @@ impl fmt::Display for DriveModel {
 /// assert_eq!(sn.vendor(), Vendor::II);
 /// assert_eq!(sn.to_string(), "SSD-II-0000000042");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SerialNumber {
     vendor: Vendor,
     id: u64,
@@ -365,8 +419,14 @@ mod tests {
 
     #[test]
     fn capacities_and_layers_span_paper_range() {
-        let min_cap = DriveModel::ALL.iter().map(|m| m.capacity().gigabytes()).min();
-        let max_cap = DriveModel::ALL.iter().map(|m| m.capacity().gigabytes()).max();
+        let min_cap = DriveModel::ALL
+            .iter()
+            .map(|m| m.capacity().gigabytes())
+            .min();
+        let max_cap = DriveModel::ALL
+            .iter()
+            .map(|m| m.capacity().gigabytes())
+            .max();
         assert_eq!(min_cap, Some(128));
         assert_eq!(max_cap, Some(1024));
         let min_layers = DriveModel::ALL.iter().map(|m| m.layers()).min();

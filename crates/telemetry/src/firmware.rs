@@ -70,9 +70,7 @@ impl FirmwareNaming {
 /// assert!(f1 < f2);
 /// assert_eq!(f1.label(), "I_F_1");
 /// ```
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FirmwareVersion {
     vendor: Vendor,
     seq: u32,

@@ -100,7 +100,11 @@ impl DriveHistory {
         records.reverse();
         records.dedup_by_key(|r| r.day);
         records.reverse();
-        DriveHistory { serial, model, records }
+        DriveHistory {
+            serial,
+            model,
+            records,
+        }
     }
 
     /// The drive's serial number.
@@ -163,7 +167,10 @@ impl DriveHistory {
     /// Gaps between consecutive observed days, in days (a gap of 1 means
     /// consecutive days).
     pub fn gaps(&self) -> Vec<i64> {
-        self.records.windows(2).map(|w| w[1].day - w[0].day).collect()
+        self.records
+            .windows(2)
+            .map(|w| w[1].day - w[0].day)
+            .collect()
     }
 
     /// The largest observation gap, if the history has at least two
@@ -247,7 +254,10 @@ mod tests {
             h.record_at_or_before(DayStamp::new(5)).map(|r| r.day),
             Some(DayStamp::new(3))
         );
-        assert_eq!(h.record_at_or_before(DayStamp::new(-1)).map(|r| r.day), None);
+        assert_eq!(
+            h.record_at_or_before(DayStamp::new(-1)).map(|r| r.day),
+            None
+        );
         assert_eq!(
             h.record_at_or_before(DayStamp::new(100)).map(|r| r.day),
             Some(DayStamp::new(7))

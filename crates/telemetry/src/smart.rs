@@ -24,9 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(SmartAttr::from_id(12), Some(SmartAttr::PowerOnHours));
 /// assert_eq!(SmartAttr::ALL.len(), 16);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum SmartAttr {
     /// `S_1` — critical warning bitfield from the NVMe SMART/Health log.

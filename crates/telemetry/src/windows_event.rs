@@ -24,9 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(WindowsEventId::W11.description().contains("controller error"));
 /// assert_eq!(WindowsEventId::ALL.len(), 9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u16)]
 pub enum WindowsEventId {
     /// Event 7 — the device has a bad block.
@@ -131,7 +129,10 @@ mod tests {
 
     #[test]
     fn descriptions_nonempty_and_unique() {
-        let mut d: Vec<&str> = WindowsEventId::ALL.iter().map(|e| e.description()).collect();
+        let mut d: Vec<&str> = WindowsEventId::ALL
+            .iter()
+            .map(|e| e.description())
+            .collect();
         d.sort_unstable();
         d.dedup();
         assert_eq!(d.len(), 9);

@@ -51,8 +51,7 @@ fn main() -> Result<(), CoreError> {
     // Feature-group shoot-out.
     println!("\nfeature-group comparison (drive-level):");
     for group in FeatureGroup::ALL {
-        let report =
-            Mfpa::new(MfpaConfig::new(group, Algorithm::RandomForest)).run(&fleet)?;
+        let report = Mfpa::new(MfpaConfig::new(group, Algorithm::RandomForest)).run(&fleet)?;
         println!(
             "  {:<5} TPR={:6.2}% FPR={:5.2}% AUC={:.4}",
             group.name(),

@@ -45,7 +45,10 @@ fn main() -> Result<(), CoreError> {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
     println!("\ntop 10 at-risk drives (back up NOW):");
-    println!("  {:<22} {:>8} {:>12} {:>10}", "drive group", "day", "P(failure)", "actual");
+    println!(
+        "  {:<22} {:>8} {:>12} {:>10}",
+        "drive group", "day", "P(failure)", "actual"
+    );
     let failure_groups: std::collections::HashSet<u64> = prepared
         .failure_days()
         .keys()
@@ -53,8 +56,18 @@ fn main() -> Result<(), CoreError> {
         .collect();
     for &(row, p) in ranked.iter().take(10) {
         let m = &meta[row];
-        let actual = if failure_groups.contains(&m.group) { "FAILED" } else { "healthy" };
-        println!("  {:<22} {:>8} {:>11.1}% {:>10}", m.group, m.time, p * 100.0, actual);
+        let actual = if failure_groups.contains(&m.group) {
+            "FAILED"
+        } else {
+            "healthy"
+        };
+        println!(
+            "  {:<22} {:>8} {:>11.1}% {:>10}",
+            m.group,
+            m.time,
+            p * 100.0,
+            actual
+        );
     }
 
     let flagged = ranked.iter().filter(|&&(_, p)| p >= 0.5).count();

@@ -27,7 +27,11 @@ fn main() {
 
     println!("\n== firmware risk (update your oldest firmware!) ==");
     for fs in fleet.firmware_stats() {
-        let flag = if fs.failure_rate() > 0.02 { "  <-- elevated" } else { "" };
+        let flag = if fs.failure_rate() > 0.02 {
+            "  <-- elevated"
+        } else {
+            ""
+        };
         println!(
             "  {:<8} raw '{}' rate {:.4}{}",
             fs.firmware.label(),
@@ -39,8 +43,7 @@ fn main() {
 
     println!("\n== per-vendor MFPA model quality (SFWB + RF) ==");
     for vendor in Vendor::ALL {
-        let cfg = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest)
-            .with_vendor(vendor);
+        let cfg = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_vendor(vendor);
         match Mfpa::new(cfg).run(&fleet) {
             Ok(r) => println!(
                 "  vendor {:<4} AUC {:.4}  TPR {:6.2}%  FPR {:5.2}%  ({} test drives, {} faulty)",

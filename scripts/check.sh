@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, tests. Run before every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -28,7 +28,11 @@ fn tickets_reference_telemetry_drives() {
     let serials: std::collections::HashSet<_> =
         fleet().drives().iter().map(|d| d.serial()).collect();
     for t in fleet().tickets() {
-        assert!(serials.contains(&t.serial()), "ticket for unknown drive {}", t.serial());
+        assert!(
+            serials.contains(&t.serial()),
+            "ticket for unknown drive {}",
+            t.serial()
+        );
     }
 }
 
@@ -71,8 +75,11 @@ fn cumulative_event_columns_are_monotone() {
 fn labels_never_postdate_tickets() {
     let series = clean_series();
     let labels = label_failures(&series, fleet().tickets(), &LabelingConfig::default());
-    let imt: std::collections::HashMap<_, _> =
-        fleet().tickets().iter().map(|t| (t.serial(), t.imt().day())).collect();
+    let imt: std::collections::HashMap<_, _> = fleet()
+        .tickets()
+        .iter()
+        .map(|t| (t.serial(), t.imt().day()))
+        .collect();
     assert!(!labels.is_empty());
     for (serial, day) in &labels {
         assert!(day <= &imt[serial], "label {day} after IMT {}", imt[serial]);
@@ -107,7 +114,11 @@ fn labels_land_near_true_failure_days() {
 fn positive_samples_sit_inside_their_window() {
     let series = clean_series();
     let labels = label_failures(&series, fleet().tickets(), &LabelingConfig::default());
-    let cfg = WindowConfig { positive_window: 14, lookahead: 2, seq_len: 3 };
+    let cfg = WindowConfig {
+        positive_window: 14,
+        lookahead: 2,
+        seq_len: 3,
+    };
     let set = build_samples(&series, &labels, &cfg).expect("samples");
     let by_group: std::collections::HashMap<u64, i64> =
         labels.iter().map(|(s, &d)| (group_of(*s), d)).collect();
@@ -118,7 +129,10 @@ fn positive_samples_sit_inside_their_window() {
             let hi = fd - cfg.lookahead;
             assert!(meta.time <= hi && meta.time > hi - cfg.positive_window);
         } else {
-            assert!(!by_group.contains_key(&meta.group), "negative from a labelled drive");
+            assert!(
+                !by_group.contains_key(&meta.group),
+                "negative from a labelled drive"
+            );
         }
     }
     // Sequence view stays aligned.

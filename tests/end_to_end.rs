@@ -101,16 +101,14 @@ fn vendor_restricted_runs_are_subsets() {
 
 #[test]
 fn lookahead_degrades_recall() {
-    let near = Mfpa::new(
-        MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_lookahead(0),
-    )
-    .run(fleet())
-    .expect("N=0");
-    let far = Mfpa::new(
-        MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_lookahead(20),
-    )
-    .run(fleet())
-    .expect("N=20");
+    let near =
+        Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_lookahead(0))
+            .run(fleet())
+            .expect("N=0");
+    let far =
+        Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_lookahead(20))
+            .run(fleet())
+            .expect("N=20");
     assert!(
         far.drive.tpr() < near.drive.tpr(),
         "N=20 TPR {} !< N=0 TPR {}",
@@ -122,7 +120,9 @@ fn lookahead_degrades_recall() {
 #[test]
 fn ratio_split_and_thresholds_work() {
     let cfg = MfpaConfig::new(FeatureGroup::Sf, Algorithm::Gbdt)
-        .with_split(SplitStrategy::Ratio { test_fraction: 0.25 })
+        .with_split(SplitStrategy::Ratio {
+            test_fraction: 0.25,
+        })
         .with_threshold(0.7);
     let r = Mfpa::new(cfg).run(fleet()).expect("run");
     assert!(r.timings.n_test_rows > 0);
@@ -136,7 +136,11 @@ fn vendor_threshold_detector_is_a_weak_floor() {
     // The vendor detector catches some drive-level failures at near-zero
     // FPR, but far fewer than the learned models (§II: 3-10% TPR).
     assert!(r.drive.fpr() < 0.02, "FPR {}", r.drive.fpr());
-    assert!(r.drive.tpr() < 0.8, "TPR {} suspiciously high", r.drive.tpr());
+    assert!(
+        r.drive.tpr() < 0.8,
+        "TPR {} suspiciously high",
+        r.drive.tpr()
+    );
 }
 
 #[test]
@@ -147,7 +151,9 @@ fn training_on_later_window_still_works() {
     let train = prepared.rows_in_window(0, horizon / 2);
     let test = prepared.rows_in_window(horizon / 2, horizon);
     let trained = mfpa.train_rows(&prepared, &train).expect("train");
-    let r = trained.evaluate_rows(&prepared, &test, "late window").expect("eval");
+    let r = trained
+        .evaluate_rows(&prepared, &test, "late window")
+        .expect("eval");
     assert!(r.n_test_drives > 0);
     assert!(r.drive.auc > 0.7, "AUC {}", r.drive.auc);
 }

@@ -4,9 +4,7 @@
 
 use mfpa_dataset::Matrix;
 use mfpa_ml::metrics::auc;
-use mfpa_ml::{
-    Classifier, CnnLstm, GaussianNb, Gbdt, LinearSvm, MlError, RandomForest,
-};
+use mfpa_ml::{Classifier, CnnLstm, GaussianNb, Gbdt, LinearSvm, MlError, RandomForest};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -39,7 +37,9 @@ fn all_models() -> Vec<Box<dyn Classifier>> {
 fn all_models_learn_a_separable_problem() {
     let (x, y) = separable(160, 3);
     for mut model in all_models() {
-        model.fit(&x, &y).unwrap_or_else(|e| panic!("{} fit: {e}", model.name()));
+        model
+            .fit(&x, &y)
+            .unwrap_or_else(|e| panic!("{} fit: {e}", model.name()));
         let p = model.predict_proba(&x).unwrap();
         let a = auc(&y, &p);
         assert!(a > 0.9, "{} AUC {a}", model.name());
@@ -108,10 +108,7 @@ fn label_length_mismatch_rejected() {
     let x = Matrix::from_rows(&[vec![0.0; 6], vec![1.0; 6]]).unwrap();
     for mut model in all_models() {
         assert!(
-            matches!(
-                model.fit(&x, &[true]),
-                Err(MlError::LabelMismatch { .. })
-            ),
+            matches!(model.fit(&x, &[true]), Err(MlError::LabelMismatch { .. })),
             "{}",
             model.name()
         );
@@ -137,10 +134,22 @@ fn seeded_models_are_reproducible() {
     let (x, y) = separable(90, 13);
     type Builder = Box<dyn Fn() -> Box<dyn Classifier>>;
     let builders: Vec<(&str, Builder)> = vec![
-        ("svm", Box::new(|| Box::new(LinearSvm::new(1e-3, 10).with_seed(9)))),
-        ("rf", Box::new(|| Box::new(RandomForest::new(20, 6).with_seed(9)))),
-        ("gbdt", Box::new(|| Box::new(Gbdt::new(20, 0.2, 3).with_subsample(0.7).with_seed(9)))),
-        ("cnn_lstm", Box::new(|| Box::new(CnnLstm::new(3, 2).with_epochs(4).with_seed(9)))),
+        (
+            "svm",
+            Box::new(|| Box::new(LinearSvm::new(1e-3, 10).with_seed(9))),
+        ),
+        (
+            "rf",
+            Box::new(|| Box::new(RandomForest::new(20, 6).with_seed(9))),
+        ),
+        (
+            "gbdt",
+            Box::new(|| Box::new(Gbdt::new(20, 0.2, 3).with_subsample(0.7).with_seed(9))),
+        ),
+        (
+            "cnn_lstm",
+            Box::new(|| Box::new(CnnLstm::new(3, 2).with_epochs(4).with_seed(9))),
+        ),
     ];
     for (name, build) in builders {
         let mut a = build();
@@ -165,29 +174,44 @@ fn models_roundtrip_through_serde() {
     rf.fit(&x, &y).unwrap();
     let json = serde_json::to_string(&rf).expect("serialise rf");
     let back: RandomForest = serde_json::from_str(&json).expect("deserialise rf");
-    assert_eq!(rf.predict_proba(&x).unwrap(), back.predict_proba(&x).unwrap());
+    assert_eq!(
+        rf.predict_proba(&x).unwrap(),
+        back.predict_proba(&x).unwrap()
+    );
 
     let mut gbdt = Gbdt::new(10, 0.3, 3).with_seed(4);
     gbdt.fit(&x, &y).unwrap();
     let json = serde_json::to_string(&gbdt).unwrap();
     let back: Gbdt = serde_json::from_str(&json).unwrap();
-    assert_eq!(gbdt.predict_proba(&x).unwrap(), back.predict_proba(&x).unwrap());
+    assert_eq!(
+        gbdt.predict_proba(&x).unwrap(),
+        back.predict_proba(&x).unwrap()
+    );
 
     let mut nb = GaussianNb::new();
     nb.fit(&x, &y).unwrap();
     let back: GaussianNb = serde_json::from_str(&serde_json::to_string(&nb).unwrap()).unwrap();
-    assert_eq!(nb.predict_proba(&x).unwrap(), back.predict_proba(&x).unwrap());
+    assert_eq!(
+        nb.predict_proba(&x).unwrap(),
+        back.predict_proba(&x).unwrap()
+    );
 
     let mut lr = mfpa_ml::LogisticRegression::new(1e-3, 50);
     lr.fit(&x, &y).unwrap();
     let back: mfpa_ml::LogisticRegression =
         serde_json::from_str(&serde_json::to_string(&lr).unwrap()).unwrap();
-    assert_eq!(lr.predict_proba(&x).unwrap(), back.predict_proba(&x).unwrap());
+    assert_eq!(
+        lr.predict_proba(&x).unwrap(),
+        back.predict_proba(&x).unwrap()
+    );
 
     let mut nn = CnnLstm::new(3, 2).with_epochs(3).with_seed(4);
     nn.fit(&x, &y).unwrap();
     let back: CnnLstm = serde_json::from_str(&serde_json::to_string(&nn).unwrap()).unwrap();
-    assert_eq!(nn.predict_proba(&x).unwrap(), back.predict_proba(&x).unwrap());
+    assert_eq!(
+        nn.predict_proba(&x).unwrap(),
+        back.predict_proba(&x).unwrap()
+    );
 }
 
 #[test]

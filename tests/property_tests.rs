@@ -4,16 +4,69 @@
 
 use std::collections::HashSet;
 
+use mfpa_core::deploy::DriveMonitor;
 use mfpa_core::preprocess::{preprocess, PreprocessConfig};
+use mfpa_core::sanitize::sanitize;
+use mfpa_core::SanitizeConfig;
 use mfpa_dataset::cv::{folds_chronologically_sound, kfold, time_series_cv};
 use mfpa_dataset::split::{is_chronologically_sound, ratio_split, timepoint_split};
 use mfpa_dataset::{LabelEncoder, Matrix, RandomUnderSampler, StandardScaler};
 use mfpa_ml::metrics::{auc, roc_curve, ConfusionMatrix};
 use mfpa_telemetry::{
-    DailyRecord, DayStamp, DriveHistory, DriveModel, FirmwareVersion, SerialNumber,
+    DailyRecord, DayStamp, DriveHistory, DriveModel, FirmwareVersion, SerialNumber, SmartAttr,
     SmartValues, Vendor,
 };
 use proptest::prelude::*;
+
+/// Decodes one drawn corruption code into a SMART value: mostly
+/// plausible counters, with NaNs, sentinels, zero pages, negatives and
+/// absurd magnitudes mixed in — the fault menu of
+/// `mfpa_fleetsim::faults` plus worse.
+fn smart_value(code: u8, day: i64, ix: usize) -> f64 {
+    match code {
+        0 => f64::NAN,
+        1 => 0.0,
+        2 => u32::MAX as f64,
+        3 => u64::MAX as f64,
+        4 => -3.5,
+        5 => 1e19,
+        _ => (day.max(0) as f64) * 2.0 + ix as f64,
+    }
+}
+
+/// Builds an arbitrary (possibly heavily corrupted) emission stream
+/// from drawn day stamps and per-attribute corruption codes.
+fn corrupt_stream(days: &[i64], codes: &[Vec<u8>]) -> Vec<DailyRecord> {
+    days.iter()
+        .zip(codes)
+        .map(|(&day, rec_codes)| {
+            let mut values = [0.0f64; 16];
+            for (ix, v) in values.iter_mut().enumerate() {
+                *v = smart_value(rec_codes[ix], day, ix);
+            }
+            DailyRecord {
+                day: DayStamp::new(day),
+                smart: SmartValues::from_array(values),
+                firmware: FirmwareVersion::new(Vendor::II, 1),
+                w_counts: [0; 9],
+                b_counts: [0; 23],
+            }
+        })
+        .collect()
+}
+
+/// Canonical NaN-proof form of a record stream (`f64::to_bits`).
+fn record_bits(records: &[DailyRecord]) -> Vec<(i64, Vec<u64>)> {
+    records
+        .iter()
+        .map(|r| {
+            (
+                r.day - DayStamp::new(0),
+                r.smart.as_slice().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
 
 proptest! {
     #[test]
@@ -195,5 +248,84 @@ proptest! {
             }
             prop_assert_eq!(s.days.len(), s.rows.len());
         }
+    }
+
+    #[test]
+    fn sanitize_output_days_strictly_ascend_and_values_are_clean(
+        days in prop::collection::vec(-20i64..120, 1..50),
+        codes in prop::collection::vec(prop::collection::vec(0u8..10, 16usize), 50usize),
+    ) {
+        let raw = corrupt_stream(&days, &codes);
+        let cfg = SanitizeConfig::default();
+        let serial = SerialNumber::new(Vendor::II, 9);
+        let (history, report) = sanitize(serial, DriveModel::ALL[2], &raw, &cfg);
+        prop_assert_eq!(report.input_records, raw.len());
+        prop_assert!(report.kept_records <= raw.len());
+        for w in history.records().windows(2) {
+            prop_assert!(w[1].day > w[0].day, "days must strictly ascend");
+        }
+        for r in history.records() {
+            for (attr, v) in r.smart.iter() {
+                prop_assert!(v.is_finite(), "{attr:?} = {v} not finite");
+                prop_assert!(v >= 0.0, "{attr:?} = {v} negative");
+                prop_assert!(v < cfg.sentinel_ceiling, "{attr:?} = {v} sentinel");
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_repairs_cumulative_columns_to_monotone(
+        days in prop::collection::vec(0i64..90, 2..40),
+        codes in prop::collection::vec(prop::collection::vec(0u8..12, 16usize), 40usize),
+    ) {
+        let raw = corrupt_stream(&days, &codes);
+        let (history, _) = sanitize(
+            SerialNumber::new(Vendor::I, 4),
+            DriveModel::ALL[0],
+            &raw,
+            &SanitizeConfig::default(),
+        );
+        for attr in SmartAttr::ALL {
+            if !attr.is_cumulative() {
+                continue;
+            }
+            for w in history.records().windows(2) {
+                let (a, b) = (w[0].smart.get(attr), w[1].smart.get(attr));
+                prop_assert!(b >= a, "{attr:?} decreased: {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_on_arbitrary_streams(
+        days in prop::collection::vec(-10i64..100, 1..40),
+        codes in prop::collection::vec(prop::collection::vec(0u8..10, 16usize), 40usize),
+    ) {
+        let raw = corrupt_stream(&days, &codes);
+        let cfg = SanitizeConfig::default();
+        let serial = SerialNumber::new(Vendor::III, 7);
+        let model = DriveModel::ALL[1];
+        let (once, _) = sanitize(serial, model, &raw, &cfg);
+        let (twice, second) = sanitize(serial, model, once.records(), &cfg);
+        prop_assert_eq!(record_bits(once.records()), record_bits(twice.records()));
+        prop_assert!(second.is_clean(), "second pass must be a no-op: {second:?}");
+    }
+
+    #[test]
+    fn drive_monitor_never_panics_on_arbitrary_streams(
+        days in prop::collection::vec(-20i64..120, 1..50),
+        codes in prop::collection::vec(prop::collection::vec(0u8..8, 16usize), 50usize),
+    ) {
+        let raw = corrupt_stream(&days, &codes);
+        let mut monitor = DriveMonitor::new(
+            SerialNumber::new(Vendor::II, 11),
+            FirmwareVersion::new(Vendor::II, 1),
+        );
+        for record in &raw {
+            if let Ok(row) = monitor.ingest(record) {
+                prop_assert!(row.iter().all(|v| v.is_finite()), "row has non-finite values");
+            }
+        }
+        prop_assert_eq!(monitor.sanitize_report().input_records, raw.len());
     }
 }

@@ -1,0 +1,116 @@
+//! `any::<T>()` and the `Arbitrary` trait for unconstrained sampling.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types that can be sampled without an explicit strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// An unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bias towards edge cases (as real proptest does): one draw in
+        // eight is a special value, the rest are wide-range finite.
+        const SPECIALS: [f64; 8] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ];
+        if rng.below(8) == 0 {
+            SPECIALS[rng.below(SPECIALS.len() as u64) as usize]
+        } else {
+            (rng.unit_f64() - 0.5) * 2.0e12
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(4) == 0 {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('?')
+        } else {
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::new(5);
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..100 {
+            if bool::arbitrary(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+
+    #[test]
+    fn f64_hits_specials() {
+        let mut rng = TestRng::new(11);
+        let mut saw_nonfinite = false;
+        for _ in 0..500 {
+            saw_nonfinite |= !f64::arbitrary(&mut rng).is_finite();
+        }
+        assert!(saw_nonfinite);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Keeps the workspace's property tests running without network access.
+//! Same programming model as real proptest — strategies sampled per
+//! case, `prop_assert!`-style early exits, rejection via
+//! `prop_assume!` — with two deliberate simplifications: no shrinking
+//! (the failing inputs are printed as generated) and no failure
+//! persistence (sampling is derived deterministically from the test
+//! name, so failures reproduce across runs by construction).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` works as with
+    /// real proptest.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from
+/// strategies (`name in strategy`) or from [`arbitrary::Arbitrary`]
+/// (`name: Type`).
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            const CASES: usize = 64;
+            let mut __rng =
+                $crate::test_runner::TestRng::from_test_name(stringify!($name));
+            let mut __accepted = 0usize;
+            let mut __attempts = 0usize;
+            while __accepted < CASES {
+                __attempts += 1;
+                assert!(
+                    __attempts < CASES * 256,
+                    "proptest {}: too many rejected cases ({} attempts)",
+                    stringify!($name),
+                    __attempts,
+                );
+                let mut __inputs = ::std::string::String::new();
+                $crate::__proptest_bindings!(__rng, __inputs; $($params)*);
+                let __outcome = (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => panic!(
+                        "proptest {} failed on case {}: {}\n  inputs: {}",
+                        stringify!($name),
+                        __accepted,
+                        __msg,
+                        __inputs,
+                    ),
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: expands the parameter list of a `proptest!` test into
+/// sampled `let` bindings, recording a debug rendering of each input.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident, $dbg:ident;) => {};
+    ($rng:ident, $dbg:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_record!($dbg, $name);
+    };
+    ($rng:ident, $dbg:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_record!($dbg, $name);
+        $crate::__proptest_bindings!($rng, $dbg; $($rest)*);
+    };
+    ($rng:ident, $dbg:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_record!($dbg, $name);
+    };
+    ($rng:ident, $dbg:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_record!($dbg, $name);
+        $crate::__proptest_bindings!($rng, $dbg; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_record {
+    ($dbg:ident, $name:ident) => {
+        if !$dbg.is_empty() {
+            $dbg.push_str(", ");
+        }
+        $dbg.push_str(&::std::format!("{} = {:?}", stringify!($name), $name));
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+        );
+    }};
+}
+
+/// Rejects the current case (without failing) unless the assumption
+/// holds; a fresh case is drawn instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, u in 1usize..9, f in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..9).contains(&u));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_honour_size(
+            xs in prop::collection::vec(any::<bool>(), 2..6),
+            set in prop::collection::btree_set(0i64..100, 1..10),
+        ) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(!set.is_empty() && set.len() < 10);
+        }
+
+        #[test]
+        fn string_patterns_match(s in "[a-z]{1,6}") {
+            prop_assert!((1..=6).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u64..10, seed: u64) {
+            prop_assume!(n >= 5);
+            let _ = seed;
+            prop_assert!(n >= 5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::from_test_name("t");
+        let mut b = crate::test_runner::TestRng::from_test_name("t");
+        let s = crate::collection::vec(0i64..1000, 5..20);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,132 @@
+//! The `Strategy` trait and the primitive strategies (ranges, tuples,
+//! `Just`, string patterns).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::string::sample_pattern;
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String-pattern strategy: a `&'static str` is interpreted as a small
+/// regex subset (char classes, `{m,n}` repetitions), as in real
+/// proptest.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $ix:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies!((A: 0, B: 1) (A: 0, B: 1, C: 2) (A: 0, B: 1, C: 2, D: 3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = TestRng::new(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..2000 {
+            let x = (0i64..4).sample(&mut rng);
+            assert!((0..4).contains(&x));
+            lo |= x == 0;
+            hi |= x == 3;
+        }
+        assert!(lo && hi);
+        let y = (-5i64..=-5).sample(&mut rng);
+        assert_eq!(y, -5);
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let mut rng = TestRng::new(9);
+        let (a, b) = (0u8..10, Just(7i64)).sample(&mut rng);
+        assert!(a < 10);
+        assert_eq!(b, 7);
+    }
+}

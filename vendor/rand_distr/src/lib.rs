@@ -1,0 +1,187 @@
+//! Offline vendored stand-in for `rand_distr`: the [`Distribution`]
+//! trait plus the [`Normal`] and [`Poisson`] distributions this
+//! workspace samples. Deterministic given the generator state.
+
+use rand::{RngCore, RngExt};
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => f.write_str("normal: invalid standard deviation"),
+            NormalError::MeanTooSmall => f.write_str("normal: invalid mean"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] for non-finite parameters or a negative
+    /// standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the second variate is discarded so one draw costs a
+        // fixed two uniforms, keeping seeded streams easy to reason about.
+        let u1: f64 = loop {
+            let u = rng.random();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// Error constructing a [`Poisson`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoissonError {
+    /// λ was non-positive or non-finite.
+    ShapeTooSmall,
+}
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("poisson: lambda must be finite and > 0")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// The Poisson distribution with rate λ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoissonError`] unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Poisson, PoissonError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(PoissonError::ShapeTooSmall);
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.random();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+                if k > 10_000 {
+                    return k as f64; // numeric underflow guard
+                }
+            }
+        }
+        // Large λ: normal approximation with continuity correction —
+        // accurate to well under the simulator's noise floor.
+        let n = Normal {
+            mean: self.lambda,
+            std_dev: self.lambda.sqrt(),
+        };
+        n.sample(rng).round().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for lambda in [0.5, 4.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 30_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.1 + 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_non_negative_integers() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = Poisson::new(2.5).unwrap();
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!(v >= 0.0 && v.fract() == 0.0);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The owned JSON-like value tree shared by the vendored `serde` and
+//! `serde_json` crates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object storage. BTreeMap keeps key order deterministic (sorted), the
+/// same observable behaviour as stock serde_json without
+/// `preserve_order`.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer (used when the source type was unsigned, so
+    /// `u64::MAX` survives exactly).
+    U64(u64),
+    /// A float. Non-finite values are rendered as `null`, as in
+    /// serde_json.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A widened signed integer view of either integer variant.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::I64(x) => Some(i128::from(*x)),
+            Value::U64(x) => Some(i128::from(*x)),
+            Value::F64(x) if x.fract() == 0.0 && x.abs() < 9.0e18 => Some(*x as i128),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(x) => Some(*x as f64),
+            Value::U64(x) => Some(*x as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member access: `value["key"]`, yielding `Null` when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeError {
+    /// A free-form mismatch description.
+    Message(String),
+}
+
+impl DeError {
+    /// A "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::Message(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A missing-field error.
+    pub fn missing(field: &str) -> Self {
+        DeError::Message(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_f64(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        return f.write_str("null");
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        // Keep floats recognisable as floats, like serde_json ("1.0").
+        write!(f, "{x:.1}")
+    } else {
+        // `{}` on f64 prints the shortest representation that round-trips.
+        write!(f, "{x}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(x) => write!(f, "{x}"),
+            Value::U64(x) => write!(f, "{x}"),
+            Value::F64(x) => write_f64(f, *x),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty => $variant:ident),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                Value::$variant(x as _)
+            }
+        }
+    )*};
+}
+
+from_int!(
+    i8 => I64, i16 => I64, i32 => I64, i64 => I64, isize => I64,
+    u8 => U64, u16 => U64, u32 => U64, u64 => U64, usize => U64
+);
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::F64(f64::from(x))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Value {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Value {
+        opt.map_or(Value::Null, Into::into)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::from(1u64));
+        m.insert("a".into(), Value::from(vec![1.5f64, 2.0]));
+        m.insert("s".into(), Value::from("x\"y"));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"a":[1.5,2.0],"b":1,"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Value::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Value::F64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Array(vec![Value::I64(-1), Value::U64(2)]);
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        assert_eq!(v.as_array().unwrap()[0].as_i128(), Some(-1));
+        assert!(v.as_object().is_none());
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::String("s".into()).as_str(), Some("s"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders the shared [`serde::Value`] tree to compact JSON text and
+//! parses JSON text back into it. Provides [`to_string`], [`from_str`]
+//! and a [`json!`] macro covering the shapes this workspace emits
+//! (objects with literal keys, nested objects/arrays, expression
+//! values, `null`). The `float_roundtrip` feature flag is accepted for
+//! manifest compatibility and is a no-op: floats always print their
+//! shortest round-trippable form.
+
+use std::fmt;
+
+pub use serde::value::{Map, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialises `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation; the `Result` mirrors
+/// the real serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::new("lone leading surrogate"));
+                                }
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(Error::new("invalid trailing surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports the subset this workspace uses: `null`, booleans,
+/// expression values (anything `serde::Serialize`), arrays, and objects
+/// with string-literal keys.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_value!($($tt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => { $crate::json_array!(@elems () $($elems)*) };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $crate::json_object!(@key __m $($entries)*);
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { ::serde::Serialize::serialize_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // All entries consumed.
+    (@key $m:ident) => {};
+    // Key found: munch the value tokens until a top-level comma.
+    (@key $m:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_object!(@val $m ($key) [] $($rest)*)
+    };
+    // Value complete at a comma.
+    (@val $m:ident ($key:literal) [$($val:tt)*] , $($rest:tt)*) => {
+        $m.insert(::std::string::String::from($key), $crate::json_value!($($val)*));
+        $crate::json_object!(@key $m $($rest)*)
+    };
+    // Value complete at the end (no trailing comma).
+    (@val $m:ident ($key:literal) [$($val:tt)*]) => {
+        $m.insert(::std::string::String::from($key), $crate::json_value!($($val)*));
+    };
+    // Accumulate one more value token.
+    (@val $m:ident ($key:literal) [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object!(@val $m ($key) [$($val)* $next] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // All elements consumed.
+    (@elems ($($out:expr,)*)) => {
+        $crate::Value::Array(::std::vec![$($out),*])
+    };
+    // Start munching the next element.
+    (@elems ($($out:expr,)*) $($rest:tt)+) => {
+        $crate::json_array!(@val ($($out,)*) [] $($rest)+)
+    };
+    // Element complete at a comma.
+    (@val ($($out:expr,)*) [$($val:tt)*] , $($rest:tt)*) => {
+        $crate::json_array!(@elems ($($out,)* $crate::json_value!($($val)*),) $($rest)*)
+    };
+    // Element complete at the end.
+    (@val ($($out:expr,)*) [$($val:tt)*]) => {
+        $crate::json_array!(@elems ($($out,)* $crate::json_value!($($val)*),))
+    };
+    // Accumulate one more element token.
+    (@val ($($out:expr,)*) [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_array!(@val ($($out,)*) [$($val)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_value() {
+        let text = r#"{"a":[1,2.5,null,true],"b":{"c":"x\ny"},"d":-3}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let rows = vec![json!({"k": 1u32}), json!({"k": 2u32})];
+        let v = json!({
+            "id": "exp-1",
+            "tpr": 0.5f64.max(0.25),
+            "missing": Option::<f64>::None,
+            "rows": rows,
+            "inline": [1, 2 + 1],
+            "nested": { "deep": null },
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"id":"exp-1","inline":[1,3],"missing":null,"nested":{"deep":null},"rows":[{"k":1},{"k":2}],"tpr":0.5}"#
+        );
+    }
+
+    #[test]
+    fn integers_parse_exactly() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v, Value::U64(u64::MAX));
+        let v: Value = from_str("-9223372036854775808").unwrap();
+        assert_eq!(v, Value::I64(i64::MIN));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![1.5f64, -2.0, 0.0];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

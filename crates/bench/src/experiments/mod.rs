@@ -7,6 +7,7 @@ mod defs;
 mod model_exps;
 mod precursors;
 mod robustness;
+mod scale;
 mod tune;
 
 use crate::ctx::Ctx;
@@ -159,6 +160,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "robustness",
             title: "Robustness: fault injection × sanitization",
             run: robustness::robustness,
+        },
+        Experiment {
+            id: "scale",
+            title: "Scale: deterministic parallel speedup (MFPA_THREADS)",
+            run: scale::scale,
         },
     ]
 }

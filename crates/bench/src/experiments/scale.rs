@@ -1,0 +1,88 @@
+//! Scale study: wall-clock of the parallel stages across worker counts,
+//! with the determinism contract checked along the way.
+//!
+//! Every width regenerates the fleet and reruns the reference SFWB+RF
+//! pipeline with `n_threads` forced, asserting the fleet and the
+//! evaluation report are bit-identical to the single-worker reference —
+//! the speedup table is only worth printing if the outputs cannot drift.
+
+use std::time::Instant;
+
+use mfpa_core::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_fleetsim::SimulatedFleet;
+use serde_json::json;
+
+use crate::ctx::Ctx;
+use crate::format::section;
+
+/// Worker counts swept by the study.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Scale: deterministic parallel speedup across worker counts.
+pub fn scale(ctx: &Ctx) -> serde_json::Value {
+    section("Scale — deterministic parallelism (MFPA_THREADS)");
+    println!(
+        "  machine parallelism: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut reference: Option<(SimulatedFleet, mfpa_core::EvalReport)> = None;
+    let mut rows = Vec::new();
+    println!(
+        "  {:>8} {:>12} {:>12} {:>10}",
+        "workers", "fleet (s)", "pipeline (s)", "identical"
+    );
+    for n in WIDTHS {
+        let t0 = Instant::now();
+        let fleet = SimulatedFleet::generate(&ctx.base().clone().with_threads(n));
+        let fleet_secs = t0.elapsed().as_secs_f64();
+
+        let cfg = MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_threads(n);
+        let t1 = Instant::now();
+        let report = match Mfpa::new(cfg).run(&fleet) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("  workers={n} pipeline error: {e}");
+                rows.push(json!({ "n_threads": n, "error": e.to_string() }));
+                continue;
+            }
+        };
+        let pipeline_secs = t1.elapsed().as_secs_f64();
+
+        let identical = match &reference {
+            None => {
+                reference = Some((fleet, report.clone()));
+                true
+            }
+            Some((ref_fleet, ref_report)) => {
+                let fleet_ok = fleet.drives() == ref_fleet.drives()
+                    && fleet.failures() == ref_fleet.failures()
+                    && fleet.tickets() == ref_fleet.tickets();
+                let report_ok = report.sample.cm == ref_report.sample.cm
+                    && report.drive.cm == ref_report.drive.cm
+                    && report.sample.auc.to_bits() == ref_report.sample.auc.to_bits()
+                    && report.drive.auc.to_bits() == ref_report.drive.auc.to_bits()
+                    && report.timings.n_quarantined == ref_report.timings.n_quarantined
+                    && report.timings.n_repaired == ref_report.timings.n_repaired;
+                assert!(
+                    fleet_ok && report_ok,
+                    "worker count {n} changed the output (fleet_ok={fleet_ok} report_ok={report_ok})"
+                );
+                true
+            }
+        };
+        println!("  {n:>8} {fleet_secs:>12.2} {pipeline_secs:>12.2} {identical:>10}");
+        rows.push(json!({
+            "n_threads": n,
+            "fleet_secs": fleet_secs,
+            "pipeline_secs": pipeline_secs,
+            "identical": identical,
+        }));
+    }
+    println!("  note: outputs are asserted bit-identical at every width; speedup");
+    println!("  tracks the physical core count (a 1-core machine shows none).");
+    json!({
+        "machine_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "rows": rows,
+    })
+}

@@ -8,6 +8,8 @@
 //! against a trained MFPA model — no batch pipeline required.
 
 use mfpa_dataset::Matrix;
+use mfpa_fleetsim::SimulatedDrive;
+use mfpa_par::{ordered_map, Workers};
 use mfpa_telemetry::{BsodCode, DailyRecord, DayStamp, FirmwareVersion, SerialNumber, SmartAttr};
 
 use crate::error::CoreError;
@@ -232,6 +234,78 @@ impl DriveMonitor {
     }
 }
 
+/// One drive's outcome from [`score_fleet`]: the replayed monitor's peak
+/// and final probabilities plus its online-sanitization accounting.
+#[derive(Debug, Clone)]
+pub struct DriveScore {
+    /// The drive's serial.
+    pub serial: SerialNumber,
+    /// Highest probability any accepted record scored.
+    pub max_score: f64,
+    /// Probability of the last accepted record (0 if none were accepted).
+    pub last_score: f64,
+    /// Records that were accepted and scored.
+    pub n_scored: usize,
+    /// The monitor's sanitization accounting (quarantines, repairs).
+    pub report: SanitizeReport,
+}
+
+/// Replays every drive's raw emission stream through its own
+/// [`DriveMonitor`] and scores each accepted record against `trained` —
+/// the server-side "iterate the model, re-score the fleet" batch job.
+///
+/// Drives are scored on the deterministic parallel layer ([`mfpa_par`]):
+/// each worker replays whole drives, results come back in input order,
+/// and the scores are bit-identical at any worker count (`n_threads`,
+/// `0` = automatic). Records the monitor quarantines (corrupt or
+/// out-of-order deliveries) are skipped and show up in the per-drive
+/// [`SanitizeReport`], exactly as they would on the client.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnsupportedModel`] for a sequence model and
+/// propagates prediction errors.
+pub fn score_fleet(
+    drives: &[SimulatedDrive],
+    trained: &TrainedMfpa,
+    n_threads: usize,
+) -> Result<Vec<DriveScore>, CoreError> {
+    if trained.uses_sequence() {
+        return Err(CoreError::UnsupportedModel(
+            "score_fleet scores flat models; sequence models need windowed input".into(),
+        ));
+    }
+    let results = ordered_map(
+        drives,
+        Workers::from_config(n_threads),
+        |_, drive| -> Result<DriveScore, CoreError> {
+            let mut monitor = DriveMonitor::new(drive.serial(), drive.firmware().clone());
+            let mut max_score = 0.0f64;
+            let mut last_score = 0.0f64;
+            let mut n_scored = 0usize;
+            for record in drive.raw_records() {
+                match monitor.score(record, trained) {
+                    Ok(p) => {
+                        max_score = max_score.max(p);
+                        last_score = p;
+                        n_scored += 1;
+                    }
+                    Err(CoreError::CorruptRecord { .. } | CoreError::OutOfOrderRecord { .. }) => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            Ok(DriveScore {
+                serial: drive.serial(),
+                max_score,
+                last_score,
+                n_scored,
+                report: *monitor.sanitize_report(),
+            })
+        },
+    );
+    results.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +485,33 @@ mod tests {
             last_p > max_p,
             "faulty final {last_p} vs healthy peak {max_p}"
         );
+
+        // Batch scoring replays the same monitors: the healthy drive's
+        // entry must agree with the hand-rolled replay above, and the
+        // whole score table must be bit-identical at any worker count.
+        let reference = score_fleet(fleet.drives(), &trained, 1).expect("score_fleet");
+        assert_eq!(reference.len(), fleet.drives().len());
+        let healthy_ix = fleet
+            .drives()
+            .iter()
+            .position(|d| d.serial() == healthy.serial())
+            .unwrap();
+        assert_eq!(reference[healthy_ix].max_score.to_bits(), max_p.to_bits());
+        let faulty_ix = fleet
+            .drives()
+            .iter()
+            .position(|d| d.serial() == faulty.serial())
+            .unwrap();
+        assert_eq!(reference[faulty_ix].last_score.to_bits(), last_p.to_bits());
+        for n in [2, 7] {
+            let scores = score_fleet(fleet.drives(), &trained, n).expect("score_fleet");
+            for (a, b) in scores.iter().zip(&reference) {
+                assert_eq!(a.serial, b.serial, "n_threads = {n}");
+                assert_eq!(a.max_score.to_bits(), b.max_score.to_bits());
+                assert_eq!(a.last_score.to_bits(), b.last_score.to_bits());
+                assert_eq!(a.n_scored, b.n_scored);
+                assert_eq!(a.report, b.report);
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@ use mfpa_dataset::{split, Matrix, RandomUnderSampler};
 use mfpa_fleetsim::SimulatedFleet;
 use mfpa_ml::metrics::{auc, ConfusionMatrix};
 use mfpa_ml::Classifier;
+use mfpa_par::{ordered_map, Workers};
 use mfpa_telemetry::{SerialNumber, Vendor};
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,11 @@ pub struct MfpaConfig {
     pub vendor: Option<Vendor>,
     /// Seed for sampling and model training.
     pub seed: u64,
+    /// Worker threads for the per-drive sanitize + preprocess stages
+    /// (`0` = automatic: `MFPA_THREADS` or the machine's parallelism).
+    /// Purely a throughput knob — every report is bit-identical at any
+    /// value.
+    pub n_threads: usize,
 }
 
 impl MfpaConfig {
@@ -100,6 +106,7 @@ impl MfpaConfig {
             threshold: 0.5,
             vendor: None,
             seed: 17,
+            n_threads: 0,
         }
     }
 
@@ -118,6 +125,12 @@ impl MfpaConfig {
     /// Sets or disables the sanitization stage.
     pub fn with_sanitize(mut self, sanitize: Option<SanitizeConfig>) -> Self {
         self.sanitize = sanitize;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = automatic).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.n_threads = n;
         self
     }
 
@@ -274,21 +287,36 @@ impl Mfpa {
     /// Returns [`CoreError::NoUsableDrives`] if preprocessing leaves
     /// nothing.
     pub fn prepare(&self, fleet: &SimulatedFleet) -> Result<Prepared, CoreError> {
-        let mut series: Vec<CleanSeries> = Vec::new();
-        let mut n_raw_records = 0usize;
-        let mut sanitize_report = SanitizeReport::default();
-        let mut sanitize_secs = 0.0f64;
-        let mut preprocess_secs = 0.0f64;
-        for drive in fleet.drives() {
-            if let Some(v) = self.config.vendor {
-                if drive.vendor() != v {
-                    continue;
-                }
-            }
+        let selected: Vec<_> = fleet
+            .drives()
+            .iter()
+            .filter(|d| self.config.vendor.is_none_or(|v| d.vendor() == v))
+            .collect();
+        // Per-drive sanitize + preprocess are independent, so they run on
+        // the deterministic parallel layer; results come back in drive
+        // order and are merged serially, so every counter and the series
+        // list are bit-identical at any worker count. The stage seconds
+        // are summed *work* across workers, not wall-clock.
+        struct DriveOut {
+            series: Option<CleanSeries>,
+            n_raw: usize,
+            report: Option<SanitizeReport>,
+            sanitize_secs: f64,
+            preprocess_secs: f64,
+        }
+        let workers = Workers::from_config(self.config.n_threads);
+        let outputs = ordered_map(&selected, workers, |_, drive| {
+            let mut out = DriveOut {
+                series: None,
+                n_raw: 0,
+                report: None,
+                sanitize_secs: 0.0,
+                preprocess_secs: 0.0,
+            };
             let sanitized;
             let history = match &self.config.sanitize {
                 Some(cfg) => {
-                    n_raw_records += drive.raw_records().len();
+                    out.n_raw = drive.raw_records().len();
                     let ts = Instant::now();
                     let (h, report) = sanitize(
                         drive.serial(),
@@ -296,21 +324,37 @@ impl Mfpa {
                         drive.raw_records(),
                         cfg,
                     );
-                    sanitize_secs += ts.elapsed().as_secs_f64();
-                    sanitize_report.merge(&report);
+                    out.sanitize_secs = ts.elapsed().as_secs_f64();
+                    out.report = Some(report);
                     sanitized = h;
                     &sanitized
                 }
                 None => {
-                    n_raw_records += drive.history().len();
+                    out.n_raw = drive.history().len();
                     drive.history()
                 }
             };
             let tp = Instant::now();
-            if let Some(s) = preprocess(history, drive.firmware(), &self.config.preprocess) {
+            out.series = preprocess(history, drive.firmware(), &self.config.preprocess);
+            out.preprocess_secs = tp.elapsed().as_secs_f64();
+            out
+        });
+
+        let mut series: Vec<CleanSeries> = Vec::new();
+        let mut n_raw_records = 0usize;
+        let mut sanitize_report = SanitizeReport::default();
+        let mut sanitize_secs = 0.0f64;
+        let mut preprocess_secs = 0.0f64;
+        for out in outputs {
+            n_raw_records += out.n_raw;
+            if let Some(report) = &out.report {
+                sanitize_report.merge(report);
+            }
+            sanitize_secs += out.sanitize_secs;
+            preprocess_secs += out.preprocess_secs;
+            if let Some(s) = out.series {
                 series.push(s);
             }
-            preprocess_secs += tp.elapsed().as_secs_f64();
         }
         if series.is_empty() {
             return Err(CoreError::NoUsableDrives);
@@ -433,6 +477,7 @@ impl Mfpa {
         };
         let trained = self.train_rows(&prepared, &the_split.train)?;
         let mut report = trained.evaluate_rows(&prepared, &the_split.test, &self.config.label())?;
+        report.timings.n_threads = Workers::from_config(self.config.n_threads).get();
         report.timings.n_raw_records = prepared.n_raw_records;
         report.timings.sanitize_secs = prepared.sanitize_secs;
         report.timings.n_quarantined = prepared.sanitize_report.total_quarantined();

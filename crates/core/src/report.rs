@@ -55,6 +55,11 @@ impl fmt::Display for MetricSet {
 /// Wall-clock and volume accounting per pipeline stage (Fig 20).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StageTimings {
+    /// Worker threads the parallel stages resolved to (0 when the run
+    /// never reached them). Stage seconds for parallel stages are summed
+    /// per-worker work, so they can exceed wall-clock by up to this
+    /// factor.
+    pub n_threads: usize,
     /// Raw telemetry records consumed.
     pub n_raw_records: usize,
     /// Seconds spent sanitizing raw telemetry (zero when disabled).

@@ -162,6 +162,10 @@ pub struct FleetConfig {
     pub noisy_os_fraction: f64,
     /// Telemetry-corruption rates (all zero = clean stream).
     pub faults: FaultConfig,
+    /// Worker threads for telemetry generation (`0` = automatic:
+    /// `MFPA_THREADS` or the machine's parallelism). Purely a throughput
+    /// knob — the generated fleet is bit-identical at any value.
+    pub n_threads: usize,
 }
 
 impl FleetConfig {
@@ -182,6 +186,7 @@ impl FleetConfig {
             noisy_smart_fraction: 0.05,
             noisy_os_fraction: 0.04,
             faults: FaultConfig::none(),
+            n_threads: 0,
         }
     }
 
@@ -235,6 +240,12 @@ impl FleetConfig {
     /// Sets the telemetry-corruption rates.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = automatic).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.n_threads = n;
         self
     }
 

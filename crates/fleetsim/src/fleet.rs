@@ -1,5 +1,6 @@
 //! Fleet generation: populations, failures, telemetry and tickets.
 
+use mfpa_par::{ordered_map, Workers};
 use mfpa_telemetry::{
     DailyRecord, DayStamp, DriveHistory, DriveModel, FailureCause, FailureLevel, FirmwareVersion,
     SerialNumber, TroubleTicket, Vendor,
@@ -182,6 +183,22 @@ struct FailureStub {
     cause: FailureCause,
 }
 
+/// One drive's fully-planned telemetry job. Every draw from the shared
+/// fleet RNG has already happened by the time a job exists, so jobs can
+/// run on any worker in any order: telemetry content comes from a
+/// per-drive generator seeded by `(fleet seed, serial)`.
+#[derive(Debug, Clone, Copy)]
+struct TelemetryJob {
+    serial: SerialNumber,
+    model_ix: u8,
+    age0: f64,
+    fw_seq: u32,
+    plan: Option<FailurePlan>,
+    noisy_smart: bool,
+    noisy_os: bool,
+    last_day: i64,
+}
+
 impl SimulatedFleet {
     /// Generates a fleet deterministically from the configuration.
     pub fn generate(config: &FleetConfig) -> Self {
@@ -297,11 +314,11 @@ impl SimulatedFleet {
         // Stable order for reproducibility of downstream iteration.
         healthy_pool.sort_by_key(|s| s.serial);
 
-        // Telemetry generation.
-        let mut drives = Vec::with_capacity(failure_stubs.len() + healthy_pool.len());
-        let mut tickets = Vec::with_capacity(failure_stubs.len());
-        let mut failures = Vec::with_capacity(failure_stubs.len());
-        let mut injected_faults = FaultCounts::default();
+        // Telemetry planning: every remaining shared-RNG draw (failure
+        // shape, repair delay, zombie window, healthy noise flags) happens
+        // here, serially, so the plan is independent of worker count.
+        let mut jobs = Vec::with_capacity(failure_stubs.len() + healthy_pool.len());
+        let mut delays = Vec::with_capacity(failure_stubs.len());
         for stub in &failure_stubs {
             let level = stub.cause.level();
             let (sudden_fraction, silent_fraction) = match level {
@@ -353,32 +370,58 @@ impl SimulatedFleet {
             } else {
                 stub.failure_day
             };
-            let telemetry = generate_history(
-                config,
-                stub.serial,
-                stub.model_ix,
-                stub.age0,
-                stub.fw_seq,
-                Some(plan),
-                false,
-                false,
-                zombie_until,
-                &mut rng,
-            );
-            let (history, raw_records, poh, firmware) = (
-                telemetry.history,
-                telemetry.raw_records,
-                telemetry.poh,
-                telemetry.firmware,
-            );
+            delays.push(delay);
+            jobs.push(TelemetryJob {
+                serial: stub.serial,
+                model_ix: stub.model_ix,
+                age0: stub.age0,
+                fw_seq: stub.fw_seq,
+                plan: Some(plan),
+                noisy_smart: false,
+                noisy_os: false,
+                last_day: zombie_until,
+            });
+        }
+        for stub in &healthy_pool {
+            let noisy_smart = rng.random_range(0.0..1.0) < config.noisy_smart_fraction;
+            let noisy_os = rng.random_range(0.0..1.0) < config.noisy_os_fraction;
+            jobs.push(TelemetryJob {
+                serial: stub.serial,
+                model_ix: stub.model_ix,
+                age0: stub.age0,
+                fw_seq: stub.fw_seq,
+                plan: None,
+                noisy_smart,
+                noisy_os,
+                last_day: config.horizon_days - 1,
+            });
+        }
+
+        // Telemetry generation: per-drive RNGs make the jobs independent,
+        // and the shared layer returns results in job order — the fleet is
+        // bit-identical at any worker count.
+        let generated = ordered_map(&jobs, Workers::from_config(config.n_threads), |_, job| {
+            let mut job_rng = StdRng::seed_from_u64(telemetry_seed(config.seed, job.serial));
+            generate_history(config, job, &mut job_rng)
+        });
+
+        // Serial in-order assembly (drive list, tickets, failure records,
+        // fault-count merge).
+        let mut drives = Vec::with_capacity(jobs.len());
+        let mut tickets = Vec::with_capacity(failure_stubs.len());
+        let mut failures = Vec::with_capacity(failure_stubs.len());
+        let mut injected_faults = FaultCounts::default();
+        let mut generated = generated.into_iter();
+        for (stub, delay) in failure_stubs.iter().zip(delays) {
+            let telemetry = generated.next().expect("one result per job");
             injected_faults.merge(&telemetry.fault_counts);
             failures.push(FailureRecord {
                 serial: stub.serial,
                 model: DriveModel::ALL[stub.model_ix as usize],
-                firmware: firmware.clone(),
+                firmware: telemetry.firmware.clone(),
                 failure_day: DayStamp::new(stub.failure_day),
                 age_at_failure_days: stub.age0 as i64 + stub.failure_day,
-                poh_at_failure: poh,
+                poh_at_failure: telemetry.poh,
                 cause: stub.cause,
             });
             tickets.push(TroubleTicket::new(
@@ -387,30 +430,16 @@ impl SimulatedFleet {
                 stub.cause,
             ));
             drives.push(SimulatedDrive {
-                history,
-                raw_records,
-                firmware,
+                history: telemetry.history,
+                raw_records: telemetry.raw_records,
+                firmware: telemetry.firmware,
                 truth: Some(FailureTruth {
                     failure_day: DayStamp::new(stub.failure_day),
                     cause: stub.cause,
                 }),
             });
         }
-        for stub in &healthy_pool {
-            let noisy_smart = rng.random_range(0.0..1.0) < config.noisy_smart_fraction;
-            let noisy_os = rng.random_range(0.0..1.0) < config.noisy_os_fraction;
-            let telemetry = generate_history(
-                config,
-                stub.serial,
-                stub.model_ix,
-                stub.age0,
-                stub.fw_seq,
-                None,
-                noisy_smart,
-                noisy_os,
-                config.horizon_days - 1,
-                &mut rng,
-            );
+        for telemetry in generated {
             injected_faults.merge(&telemetry.fault_counts);
             drives.push(SimulatedDrive {
                 history: telemetry.history,
@@ -511,26 +540,44 @@ struct GeneratedTelemetry {
     fault_counts: FaultCounts,
 }
 
-/// Generates one drive's telemetry history. `last_day` is the final day
-/// the machine may report (the failure day, or later for zombie
-/// reporters, or the horizon for healthy drives).
+/// Derives the seed of one drive's telemetry RNG from the fleet seed and
+/// the drive's serial (SplitMix64-style finalizer). The constants differ
+/// from the fault injector's [`crate::faults`] derivation so the two
+/// per-drive streams never correlate.
+fn telemetry_seed(fleet_seed: u64, serial: SerialNumber) -> u64 {
+    let mut z = fleet_seed.wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ serial.id().wrapping_mul(0x2545_F491_4F6C_DD1D)
+        ^ ((serial.vendor().index() as u64).wrapping_add(1) << 48);
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+/// Generates one drive's telemetry history from its planned job.
+/// `job.last_day` is the final day the machine may report (the failure
+/// day, or later for zombie reporters, or the horizon for healthy
+/// drives).
 ///
-/// Fault injection (when enabled) corrupts the emitted stream with a
-/// generator derived from `(config.seed, serial)` — it never draws from
-/// `rng`, so a faultless configuration produces a bit-identical fleet.
-#[allow(clippy::too_many_arguments)]
+/// `rng` is the drive's own telemetry generator (seeded by
+/// [`telemetry_seed`]); fault injection (when enabled) corrupts the
+/// emitted stream with yet another generator derived from
+/// `(config.seed, serial)` — neither draws from any shared state, so the
+/// result depends only on the job and the fleet seed.
 fn generate_history(
     config: &FleetConfig,
-    serial: SerialNumber,
-    model_ix: u8,
-    age0: f64,
-    fw_seq: u32,
-    plan: Option<FailurePlan>,
-    noisy_smart: bool,
-    noisy_os: bool,
-    last_day: i64,
+    job: &TelemetryJob,
     rng: &mut StdRng,
 ) -> GeneratedTelemetry {
+    let TelemetryJob {
+        serial,
+        model_ix,
+        age0,
+        fw_seq,
+        plan,
+        noisy_smart,
+        noisy_os,
+        last_day,
+    } = *job;
     let model = DriveModel::ALL[model_ix as usize];
     let firmware = FirmwareVersion::new(serial.vendor(), fw_seq);
     let profile = UsageProfile::sample(rng);
@@ -617,6 +664,18 @@ mod tests {
             !(a.failures().len() == c.failures().len()
                 && a.drives()[0].history() == c.drives()[0].history())
         );
+    }
+
+    #[test]
+    fn bit_identical_at_any_thread_count() {
+        let reference = SimulatedFleet::generate(&FleetConfig::tiny(7).with_threads(1));
+        for n in [3, 7] {
+            let fleet = SimulatedFleet::generate(&FleetConfig::tiny(7).with_threads(n));
+            assert_eq!(fleet.drives(), reference.drives(), "n_threads = {n}");
+            assert_eq!(fleet.failures(), reference.failures());
+            assert_eq!(fleet.tickets(), reference.tickets());
+            assert_eq!(fleet.stats(), reference.stats());
+        }
     }
 
     #[test]

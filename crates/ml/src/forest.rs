@@ -2,10 +2,12 @@
 //! 0.56% FPR with SFWB features, §IV(3)).
 //!
 //! Bagged CART trees with per-split feature subsampling. Trees are built
-//! in parallel (one task per tree, deterministic per-tree seeds, so the
-//! result is independent of scheduling).
+//! and batch predictions scored in parallel on the shared deterministic
+//! layer ([`mfpa_par`]): per-tree seeds derive from the global tree
+//! index, so the result is independent of scheduling and worker count.
 
 use mfpa_dataset::Matrix;
+use mfpa_par::{ordered_collect, ordered_map, Workers};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -56,7 +58,7 @@ impl RandomForest {
                 max_features: MaxFeatures::Sqrt,
             },
             seed: 0,
-            n_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n_threads: Workers::auto().get(),
             trees: Vec::new(),
             n_features: None,
         }
@@ -136,50 +138,37 @@ impl Classifier for RandomForest {
         let targets: Vec<f64> = y.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
         let params = self.tree_params;
         let base_seed = self.seed;
-        let n_trees = self.n_trees;
-        let n_threads = self.n_threads.min(n_trees);
-
-        let mut results: Vec<Option<Result<DecisionTree, MlError>>> = Vec::new();
-        results.resize_with(n_trees, || None);
-        std::thread::scope(|scope| {
-            for (worker, chunk) in results.chunks_mut(n_trees.div_ceil(n_threads)).enumerate() {
-                let targets = &targets;
-                let chunk_base = worker * n_trees.div_ceil(n_threads);
-                scope.spawn(move || {
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let tree_ix = chunk_base + offset;
-                        *slot = Some(Self::fit_one_tree(
-                            x,
-                            targets,
-                            params,
-                            base_seed.wrapping_add(tree_ix as u64),
-                        ));
-                    }
-                });
-            }
+        // Every tree's seed derives from its global index, which the
+        // shared layer computes from the actual chunk offsets — uneven
+        // chunk layouts cannot mis-seed trees.
+        let tree_seeds: Vec<u64> = (0..self.n_trees)
+            .map(|ix| base_seed.wrapping_add(ix as u64))
+            .collect();
+        let results = ordered_map(&tree_seeds, Workers::new(self.n_threads), |_, &seed| {
+            Self::fit_one_tree(x, &targets, params, seed)
         });
-        let mut trees = Vec::with_capacity(n_trees);
-        for slot in results {
-            trees.push(slot.expect("every tree slot filled")?);
-        }
-        self.trees = trees;
+        self.trees = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         self.n_features = Some(x.n_cols());
         Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         check_predict_inputs(x, self.n_features)?;
-        let mut probs = vec![0.0; x.n_rows()];
-        for tree in &self.trees {
-            for (p, row) in probs.iter_mut().zip(x.rows()) {
-                *p += tree.predict_row(row);
-            }
-        }
         let k = self.trees.len() as f64;
-        for p in &mut probs {
-            *p = (*p / k).clamp(0.0, 1.0);
-        }
-        Ok(probs)
+        // Per-row vote sums accumulate in tree order, so the result is
+        // bit-identical to the serial trees-outer loop at any width.
+        Ok(ordered_collect(
+            x.n_rows(),
+            Workers::new(self.n_threads),
+            |i| {
+                let row = x.row(i);
+                let mut p = 0.0;
+                for tree in &self.trees {
+                    p += tree.predict_row(row);
+                }
+                (p / k).clamp(0.0, 1.0)
+            },
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -223,11 +212,18 @@ mod tests {
     #[test]
     fn deterministic_regardless_of_thread_count() {
         let (x, y) = clusters(120, 3);
-        let mut a = RandomForest::new(16, 6).with_seed(5).with_threads(1);
-        let mut b = RandomForest::new(16, 6).with_seed(5).with_threads(8);
-        a.fit(&x, &y).unwrap();
-        b.fit(&x, &y).unwrap();
-        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+        let mut reference = RandomForest::new(16, 6).with_seed(5).with_threads(1);
+        reference.fit(&x, &y).unwrap();
+        let expected = reference.predict_proba(&x).unwrap();
+        // Fit and predict widths vary independently; 7 exercises uneven
+        // tail chunks (16 trees / 7 workers).
+        for n in [2, 7, 8] {
+            let mut rf = RandomForest::new(16, 6).with_seed(5).with_threads(n);
+            rf.fit(&x, &y).unwrap();
+            let probs = rf.predict_proba(&x).unwrap();
+            let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&probs), bits(&expected), "n_threads = {n}");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! shrinkage. Optional row subsampling makes it stochastic GBDT.
 
 use mfpa_dataset::Matrix;
+use mfpa_par::{ordered_collect, Workers};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -40,6 +41,7 @@ pub struct Gbdt {
     subsample: f64,
     min_samples_leaf: usize,
     seed: u64,
+    n_threads: usize,
     base_score: f64,
     trees: Vec<DecisionTree>,
     n_features: Option<usize>,
@@ -56,6 +58,7 @@ impl Gbdt {
             subsample: 1.0,
             min_samples_leaf: 1,
             seed: 0,
+            n_threads: Workers::auto().get(),
             base_score: 0.0,
             trees: Vec::new(),
             n_features: None,
@@ -88,6 +91,16 @@ impl Gbdt {
         self
     }
 
+    /// Limits the number of worker threads used for the per-row work of
+    /// each boosting round and for batch scoring. Boosting rounds stay
+    /// strictly sequential (round *t* needs round *t − 1*'s scores), and
+    /// per-row updates are independent, so the fitted model and its
+    /// predictions are bit-identical at any worker count.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.n_threads = n.max(1);
+        self
+    }
+
     /// Number of boosting rounds configured.
     pub fn n_rounds(&self) -> usize {
         self.n_rounds
@@ -100,13 +113,20 @@ impl Gbdt {
     /// Same as [`Classifier::predict_proba`].
     pub fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         check_predict_inputs(x, self.n_features)?;
-        let mut scores = vec![self.base_score; x.n_rows()];
-        for tree in &self.trees {
-            for (s, row) in scores.iter_mut().zip(x.rows()) {
-                *s += self.learning_rate * tree.predict_row(row);
-            }
-        }
-        Ok(scores)
+        // Per-row sums accumulate in round order, exactly as the serial
+        // trees-outer loop would — bit-identical at any worker count.
+        Ok(ordered_collect(
+            x.n_rows(),
+            Workers::new(self.n_threads),
+            |i| {
+                let row = x.row(i);
+                let mut s = self.base_score;
+                for tree in &self.trees {
+                    s += self.learning_rate * tree.predict_row(row);
+                }
+                s
+            },
+        ))
     }
 
     /// Mean per-feature split-gain importances over all rounds.
@@ -151,6 +171,7 @@ impl Classifier for Gbdt {
         self.base_score = (p0 / (1.0 - p0)).ln();
 
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let workers = Workers::new(self.n_threads);
         let mut scores = vec![self.base_score; n];
         let params = TreeParams {
             max_depth: self.max_depth,
@@ -181,8 +202,11 @@ impl Classifier for Gbdt {
             } else {
                 tree.fit_regression(x, &grads, Some(&hess))?;
             }
-            for (s, row) in scores.iter_mut().zip(x.rows()) {
-                *s += self.learning_rate * tree.predict_row(row);
+            // Rounds are inherently sequential, but within a round every
+            // row's score update is independent.
+            let deltas = ordered_collect(n, workers, |i| tree.predict_row(x.row(i)));
+            for (s, d) in scores.iter_mut().zip(deltas) {
+                *s += self.learning_rate * d;
             }
             trees.push(tree);
         }
@@ -285,6 +309,24 @@ mod tests {
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn deterministic_regardless_of_thread_count() {
+        let (x, y) = ring_data(90, 11);
+        let fit_at = |n: usize| {
+            let mut g = Gbdt::new(12, 0.3, 3)
+                .with_seed(4)
+                .with_subsample(0.8)
+                .with_threads(n);
+            g.fit(&x, &y).unwrap();
+            g.predict_proba(&x).unwrap()
+        };
+        let expected = fit_at(1);
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        for n in [2, 7] {
+            assert_eq!(bits(&fit_at(n)), bits(&expected), "n_threads = {n}");
+        }
     }
 
     #[test]

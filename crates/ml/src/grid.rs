@@ -7,11 +7,17 @@
 //! [`mfpa_dataset::cv::time_series_cv`]) and a factory building a
 //! [`Classifier`] from a parameter assignment. Candidates are ranked by
 //! mean validation AUC.
+//!
+//! Candidates are independent, so they are evaluated in parallel on the
+//! deterministic layer ([`mfpa_par`]): each worker builds, fits and
+//! scores its own models, results come back in candidate order, and the
+//! trial log is bit-identical at any worker count.
 
 use std::collections::BTreeMap;
 
 use mfpa_dataset::cv::Fold;
 use mfpa_dataset::Matrix;
+use mfpa_par::{ordered_map, Workers};
 
 use crate::error::MlError;
 use crate::metrics::auc;
@@ -131,36 +137,67 @@ pub fn grid_search<F>(
     factory: F,
 ) -> Result<GridSearchResult, MlError>
 where
-    F: Fn(&ParamSet) -> Box<dyn Classifier>,
+    F: Fn(&ParamSet) -> Box<dyn Classifier> + Sync,
+{
+    grid_search_with_threads(grid, folds, x, y, 0, factory)
+}
+
+/// [`grid_search`] with an explicit worker count (`0` = automatic:
+/// `MFPA_THREADS` or the machine). Candidates are distributed across
+/// workers; the trial log and the winner are bit-identical at any count.
+///
+/// # Errors
+///
+/// Same as [`grid_search`].
+pub fn grid_search_with_threads<F>(
+    grid: &ParamGrid,
+    folds: &[Fold],
+    x: &Matrix,
+    y: &[bool],
+    n_threads: usize,
+    factory: F,
+) -> Result<GridSearchResult, MlError>
+where
+    F: Fn(&ParamSet) -> Box<dyn Classifier> + Sync,
 {
     if folds.is_empty() {
         return Err(MlError::InvalidParameter(
             "grid search needs at least one fold".into(),
         ));
     }
-    let mut trials = Vec::new();
-    for params in grid.candidates() {
-        let mut fold_aucs = Vec::new();
-        for fold in folds {
-            let train_y: Vec<bool> = fold.train.iter().map(|&i| y[i]).collect();
-            let pos = train_y.iter().filter(|&&l| l).count();
-            if pos == 0 || pos == train_y.len() {
-                continue; // untrainable fold
+    let candidates = grid.candidates();
+    let evaluated = ordered_map(
+        &candidates,
+        Workers::from_config(n_threads),
+        |_, params| -> Result<f64, MlError> {
+            let mut fold_aucs = Vec::new();
+            for fold in folds {
+                let train_y: Vec<bool> = fold.train.iter().map(|&i| y[i]).collect();
+                let pos = train_y.iter().filter(|&&l| l).count();
+                if pos == 0 || pos == train_y.len() {
+                    continue; // untrainable fold
+                }
+                let train_x = x.select_rows(&fold.train);
+                let val_x = x.select_rows(&fold.validate);
+                let val_y: Vec<bool> = fold.validate.iter().map(|&i| y[i]).collect();
+                let mut model = factory(params);
+                model.fit(&train_x, &train_y)?;
+                let scores = model.predict_proba(&val_x)?;
+                fold_aucs.push(auc(&val_y, &scores));
             }
-            let train_x = x.select_rows(&fold.train);
-            let val_x = x.select_rows(&fold.validate);
-            let val_y: Vec<bool> = fold.validate.iter().map(|&i| y[i]).collect();
-            let mut model = factory(&params);
-            model.fit(&train_x, &train_y)?;
-            let scores = model.predict_proba(&val_x)?;
-            fold_aucs.push(auc(&val_y, &scores));
-        }
-        let mean_auc = if fold_aucs.is_empty() {
-            0.0
-        } else {
-            fold_aucs.iter().sum::<f64>() / fold_aucs.len() as f64
-        };
-        trials.push(Trial { params, mean_auc });
+            Ok(if fold_aucs.is_empty() {
+                0.0
+            } else {
+                fold_aucs.iter().sum::<f64>() / fold_aucs.len() as f64
+            })
+        },
+    );
+    let mut trials = Vec::with_capacity(candidates.len());
+    for (params, mean_auc) in candidates.into_iter().zip(evaluated) {
+        trials.push(Trial {
+            params,
+            mean_auc: mean_auc?,
+        });
     }
     let best = trials
         .iter()
@@ -213,6 +250,31 @@ mod tests {
         assert_eq!(res.trials.len(), 3);
         assert!(res.best_auc > 0.9);
         assert!(res.trials.iter().all(|t| t.mean_auc <= res.best_auc));
+    }
+
+    #[test]
+    fn trials_identical_at_any_thread_count() {
+        let (x, y) = toy();
+        let folds = kfold(x.n_rows(), 4, 0).unwrap();
+        // Three candidates over seven workers also exercises the
+        // workers > items degenerate case.
+        let grid = ParamGrid::new().add("smoothing", &[1e-9, 1e-3, 1e-1]);
+        let run = |n: usize| {
+            grid_search_with_threads(&grid, &folds, &x, &y, n, |p| {
+                Box::new(GaussianNb::new().with_var_smoothing(p["smoothing"]))
+            })
+            .unwrap()
+        };
+        let reference = run(1);
+        for n in [2, 7] {
+            let res = run(n);
+            assert_eq!(res.best_params, reference.best_params, "n_threads = {n}");
+            assert_eq!(res.best_auc.to_bits(), reference.best_auc.to_bits());
+            for (a, b) in res.trials.iter().zip(&reference.trials) {
+                assert_eq!(a.params, b.params);
+                assert_eq!(a.mean_auc.to_bits(), b.mean_auc.to_bits());
+            }
+        }
     }
 
     #[test]

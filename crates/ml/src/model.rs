@@ -10,8 +10,12 @@ use crate::error::MlError;
 /// "portable in algorithms" claim testable: the pipeline trains and
 /// evaluates any `Box<dyn Classifier>` identically.
 ///
-/// Implementations must be deterministic given their configured seed.
-pub trait Classifier: Send {
+/// Implementations must be deterministic given their configured seed —
+/// including at any worker count, for the models that parallelise
+/// internally ([`crate::RandomForest`], [`crate::Gbdt`]). The `Send +
+/// Sync` bound is what lets a trained model be shared by the parallel
+/// batch-scoring paths.
+pub trait Classifier: Send + Sync {
     /// Fits the model on feature rows `x` with binary labels `y`
     /// (`true` = positive / faulty).
     ///

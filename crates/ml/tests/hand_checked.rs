@@ -1,0 +1,142 @@
+//! Hand-computed oracle tests for `mfpa_ml::metrics` and
+//! `mfpa_ml::threshold`.
+//!
+//! Every expected value below is worked out on paper from the metric's
+//! definition (pair counting for AUC, explicit rate fractions for the
+//! confusion matrix, rule tracing for the threshold detector) so a
+//! regression in the implementations cannot hide behind a regenerated
+//! snapshot.
+
+use mfpa_ml::metrics::{auc, roc_curve, tpr_at_fpr, ConfusionMatrix};
+use mfpa_ml::{Classifier, ThresholdDetector, ThresholdRule};
+
+use mfpa_dataset::Matrix;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+#[test]
+fn confusion_matrix_rates_from_worked_example() {
+    // 10 cases: 4 positives, 6 negatives.
+    let y_true = [
+        true, true, true, true, false, false, false, false, false, false,
+    ];
+    let y_pred = [
+        true, true, false, false, true, false, false, false, false, true,
+    ];
+    // By hand: TP = 2 (cases 0,1), FN = 2 (cases 2,3),
+    //          FP = 2 (cases 4,9), TN = 4 (cases 5..=8).
+    let cm = ConfusionMatrix::from_labels(&y_true, &y_pred);
+    assert_eq!((cm.tp, cm.fn_, cm.fp, cm.tn), (2, 2, 2, 4));
+    assert!(close(cm.tpr(), 0.5)); // 2 / 4
+    assert!(close(cm.fpr(), 1.0 / 3.0)); // 2 / 6
+    assert!(close(cm.tnr(), 2.0 / 3.0)); // 4 / 6
+    assert!(close(cm.accuracy(), 0.6)); // (2 + 4) / 10
+    assert!(close(cm.precision(), 0.5)); // 2 / 4 flagged
+    assert!(close(cm.pdr(), 0.4)); // (2 + 2) / 10
+                                   // F1 = 2 * 0.5 * 0.5 / (0.5 + 0.5) = 0.5.
+    assert!(close(cm.f1(), 0.5));
+}
+
+#[test]
+fn auc_equals_hand_counted_pair_fraction() {
+    // Positives score {0.8, 0.4}, negatives {0.6, 0.3, 0.1}.
+    // Of the 2 × 3 = 6 (positive, negative) pairs the positive outranks
+    // the negative in: (0.8,0.6) (0.8,0.3) (0.8,0.1) (0.4,0.3) (0.4,0.1)
+    // = 5 pairs; (0.4,0.6) is a loss. AUC = 5/6.
+    let y = [true, false, true, false, false];
+    let s = [0.8, 0.6, 0.4, 0.3, 0.1];
+    assert!(close(auc(&y, &s), 5.0 / 6.0));
+}
+
+#[test]
+fn auc_ties_earn_half_credit_each() {
+    // Positives {0.7, 0.5}, negatives {0.5, 0.5, 0.2}.
+    // Pairs: 0.7 beats all three negatives (3.0);
+    // 0.5 ties two negatives (2 × 0.5) and beats 0.2 (1.0).
+    // AUC = (3 + 1 + 1) / 6 = 5/6.
+    let y = [true, true, false, false, false];
+    let s = [0.7, 0.5, 0.5, 0.5, 0.2];
+    assert!(close(auc(&y, &s), 5.0 / 6.0));
+}
+
+#[test]
+fn roc_curve_matches_hand_traced_points() {
+    // Scores descending: 0.9(+), 0.7(−), 0.5(+), 0.2(−).
+    // Thresholds sweep: after 0.9 → (0, 1/2); after 0.7 → (1/2, 1/2);
+    // after 0.5 → (1/2, 1); after 0.2 → (1, 1).
+    let y = [true, false, true, false];
+    let s = [0.9, 0.7, 0.5, 0.2];
+    let curve = roc_curve(&y, &s);
+    let expected = [(0.0, 0.0), (0.0, 0.5), (0.5, 0.5), (0.5, 1.0), (1.0, 1.0)];
+    assert_eq!(curve.len(), expected.len());
+    for ((fx, tx), (fe, te)) in curve.iter().zip(expected) {
+        assert!(close(*fx, fe) && close(*tx, te), "got ({fx},{tx})");
+    }
+}
+
+#[test]
+fn roc_tie_block_moves_diagonally() {
+    // A positive and a negative share 0.5: the sweep must jump from
+    // (0,0) straight to (1/1, 1/1) through a single diagonal step, never
+    // favouring one corner of the tie.
+    let y = [true, false];
+    let s = [0.5, 0.5];
+    assert_eq!(roc_curve(&y, &s), vec![(0.0, 0.0), (1.0, 1.0)]);
+}
+
+#[test]
+fn tpr_at_fpr_trades_exactly_where_computed() {
+    // Positives: 0.9, 0.55, 0.3; negatives: 0.6, 0.4, 0.1.
+    let y = [true, false, true, false, true, false];
+    let s = [0.9, 0.6, 0.55, 0.4, 0.3, 0.1];
+    // Budget 0: the only thresholds with FPR = 0 are > 0.6; the best is
+    // t = 0.9 → TPR 1/3.
+    let (tpr0, thr0) = tpr_at_fpr(&y, &s, 0.0);
+    assert!(close(tpr0, 1.0 / 3.0));
+    assert!(thr0 > 0.6);
+    // Budget 1/3: t = 0.55 admits one negative (0.6) and two positives.
+    let (tpr1, thr1) = tpr_at_fpr(&y, &s, 1.0 / 3.0);
+    assert!(close(tpr1, 2.0 / 3.0));
+    assert!(close(thr1, 0.55));
+    // Budget 2/3: t = 0.3 admits negatives 0.6 and 0.4, all positives.
+    let (tpr2, _) = tpr_at_fpr(&y, &s, 2.0 / 3.0);
+    assert!(close(tpr2, 1.0));
+}
+
+#[test]
+fn threshold_detector_confusion_matrix_by_rule_tracing() {
+    // Columns: [media_errors, percent_spare].
+    // Alarm when media_errors > 10 OR percent_spare < 20.
+    let det = ThresholdDetector::new(
+        2,
+        vec![ThresholdRule::above(0, 10.0), ThresholdRule::below(1, 20.0)],
+    )
+    .unwrap();
+    let rows = [
+        (vec![50.0, 90.0], true),  // faulty, rule 0 fires      → TP
+        (vec![11.0, 15.0], true),  // faulty, both rules fire   → TP
+        (vec![10.0, 20.0], true),  // faulty, neither fires     → FN (boundary!)
+        (vec![0.0, 90.0], false),  // healthy, silent           → TN
+        (vec![0.0, 19.9], false),  // healthy, rule 1 fires     → FP
+        (vec![9.0, 100.0], false), // healthy, silent           → TN
+    ];
+    let x = Matrix::from_rows(&rows.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>()).unwrap();
+    let y: Vec<bool> = rows.iter().map(|&(_, l)| l).collect();
+    let preds = det.predict(&x).unwrap();
+    let cm = ConfusionMatrix::from_labels(&y, &preds);
+    assert_eq!((cm.tp, cm.fn_, cm.fp, cm.tn), (2, 1, 1, 2));
+    assert!(close(cm.tpr(), 2.0 / 3.0));
+    assert!(close(cm.fpr(), 1.0 / 3.0));
+    assert!(close(cm.pdr(), 0.5)); // 3 alarms over 6 drives
+}
+
+#[test]
+fn threshold_detector_probabilities_are_degenerate() {
+    // The detector is a hard rule: its "probabilities" must be exactly
+    // 0.0 / 1.0 so downstream AUC treats it as a single operating point.
+    let det = ThresholdDetector::new(1, vec![ThresholdRule::above(0, 0.0)]).unwrap();
+    let x = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
+    assert_eq!(det.predict_proba(&x).unwrap(), vec![1.0, 0.0]);
+}

@@ -1,0 +1,275 @@
+//! Deterministic scoped parallelism for the MFPA workspace.
+//!
+//! Every hot loop in the reproduction — per-drive fleet simulation,
+//! per-drive sanitize/preprocess, grid-search candidates, batched
+//! scoring, per-tree forest fitting — is embarrassingly parallel over an
+//! indexed work list. This crate provides the one shape they all share:
+//! a **std-only, scoped, ordered chunked map** plus a **parallel reduce
+//! with fixed reduction order**, built so that the result is
+//! *bit-identical at any worker count*.
+//!
+//! The determinism contract (see DESIGN.md §6):
+//!
+//! * [`ordered_map`] hands each closure invocation the item's global
+//!   index and writes its result into the slot of the same index. The
+//!   output vector therefore equals the serial `items.iter().map(..)`
+//!   regardless of how items were chunked across workers.
+//! * [`map_reduce`] runs the (expensive) map in parallel and then folds
+//!   the mapped values **serially, in input order**. Because the fold
+//!   itself is the plain left fold, the result is exactly the serial
+//!   `items.iter().map(f).fold(init, g)` — including for
+//!   non-associative operations such as `f64` addition.
+//! * [`Workers`] resolves the worker count once, from an explicit
+//!   configuration value, the `MFPA_THREADS` environment variable, or
+//!   the machine; `n_threads = 1` degrades to a plain serial loop with
+//!   no thread spawned at all.
+//!
+//! # Example
+//!
+//! ```
+//! use mfpa_par::{map_reduce, ordered_map, Workers};
+//!
+//! let xs: Vec<u64> = (0..100).collect();
+//! let squares = ordered_map(&xs, Workers::new(4), |_, &x| x * x);
+//! assert_eq!(squares[10], 100);
+//! // Fixed-order reduce: identical to the serial fold at any width.
+//! let sum = map_reduce(&xs, Workers::new(7), |_, &x| x as f64, 0.0, |a, b| a + b);
+//! assert_eq!(sum, xs.iter().map(|&x| x as f64).sum::<f64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Environment variable overriding the automatic worker count.
+pub const THREADS_ENV: &str = "MFPA_THREADS";
+
+/// A resolved worker count (always ≥ 1).
+///
+/// Configuration structs across the workspace store a raw `usize` where
+/// `0` means "decide for me"; [`Workers::from_config`] performs that
+/// resolution in one place: explicit value → `MFPA_THREADS` → machine
+/// parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workers(NonZeroUsize);
+
+impl Workers {
+    /// An explicit worker count; `0` is clamped to `1`.
+    pub fn new(n: usize) -> Self {
+        Workers(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// Resolves the automatic worker count: `MFPA_THREADS` when set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn auto() -> Self {
+        if let Some(n) = env_threads() {
+            return Workers::new(n);
+        }
+        Workers::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// Resolves a configuration knob where `0` means automatic.
+    pub fn from_config(n_threads: usize) -> Self {
+        if n_threads == 0 {
+            Workers::auto()
+        } else {
+            Workers::new(n_threads)
+        }
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+/// `MFPA_THREADS` as a positive integer, if set and parseable.
+fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Splits `0..len` into at most `n_chunks` contiguous, ascending,
+/// near-equal ranges covering every index exactly once. Deterministic in
+/// its arguments; an empty input yields no ranges.
+pub fn chunk_ranges(len: usize, n_chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let n_chunks = n_chunks.clamp(1, len);
+    let chunk = len.div_ceil(n_chunks);
+    let mut out = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Applies `f(index, item)` to every item and returns the results in
+/// input order, using up to `workers` scoped threads.
+///
+/// The closure receives each item's **global** index — derived from the
+/// actual chunk offsets, never recomputed from a nominal chunk size — so
+/// index-keyed seeding stays correct for any chunk layout. The output is
+/// bit-identical to the serial map for every worker count, because each
+/// invocation's result lands in the slot of its own index and the
+/// closure is given nothing that depends on the chunking.
+pub fn ordered_map<T, R, F>(items: &[T], workers: Workers, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    ordered_collect(items.len(), workers, |i| f(i, &items[i]))
+}
+
+/// Index-driven form of [`ordered_map`]: computes `f(0), f(1), ..,
+/// f(len - 1)` with up to `workers` scoped threads and returns the
+/// results in index order. Useful when the work list is implicit (matrix
+/// rows, tree indices) and materialising a slice would only cost an
+/// allocation.
+pub fn ordered_collect<R, F>(len: usize, workers: Workers, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n_workers = workers.get().min(len);
+    if n_workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(len, || None);
+    let chunk_len = len.div_ceil(n_workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // The chunk base is accumulated from the chunks actually handed
+        // out, so uneven tail chunks can never shift later indices.
+        let mut base = 0usize;
+        for chunk in results.chunks_mut(chunk_len) {
+            let chunk_base = base;
+            base += chunk.len();
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(chunk_base + offset));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by its chunk's worker"))
+        .collect()
+}
+
+/// Parallel map followed by a **serial, in-order** left fold of the
+/// mapped values: `fold(.. fold(fold(init, f(0, &items[0])), f(1,
+/// &items[1])) ..)`.
+///
+/// Equals the serial `map → fold` exactly — for any `fold`, associative
+/// or not — because only the map runs concurrently; the reduction order
+/// is the input order by construction. Use this when the per-item map is
+/// the expensive part (simulating a drive, fitting a tree) and the fold
+/// is cheap (merging counters, summing losses).
+pub fn map_reduce<T, R, A, F, G>(items: &[T], workers: Workers, f: F, init: A, fold: G) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    ordered_map(items, workers, f).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_matches_serial_at_every_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.wrapping_mul(31).wrapping_add(i as u64))
+            .collect();
+        for n in [1, 2, 3, 7, 16, 300] {
+            let par = ordered_map(&items, Workers::new(n), |i, &x| {
+                x.wrapping_mul(31).wrapping_add(i as u64)
+            });
+            assert_eq!(par, serial, "n_threads = {n}");
+        }
+    }
+
+    #[test]
+    fn ordered_map_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(ordered_map(&empty, Workers::new(4), |_, &x| x).is_empty());
+        assert_eq!(
+            ordered_map(&[9u8], Workers::new(4), |_, &x| x + 1),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn indices_are_global_for_uneven_chunks() {
+        // 10 items over 4 workers → chunks of 3,3,3,1; the tail chunk's
+        // base must be 9, not 3 * ceil(10/4).
+        let items = vec![0u8; 10];
+        let ixs = ordered_map(&items, Workers::new(4), |i, _| i);
+        assert_eq!(ixs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_reduce_equals_serial_fold_for_floats() {
+        // Sums of many magnitudes: any change in addition order shows.
+        let items: Vec<f64> = (0..1000)
+            .map(|i| (i as f64).exp2().recip() + i as f64 * 1e-3)
+            .collect();
+        let serial = items.iter().fold(0.0f64, |a, &b| a + b);
+        for n in [1, 2, 7, 64] {
+            let par = map_reduce(&items, Workers::new(n), |_, &x| x, 0.0f64, |a, b| a + b);
+            assert_eq!(par.to_bits(), serial.to_bits(), "n_threads = {n}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_supports_non_associative_folds() {
+        let items: Vec<f64> = vec![3.0, 5.0, 7.0, 11.0];
+        let serial = items.iter().fold(100.0f64, |a, &b| a / b);
+        let par = map_reduce(&items, Workers::new(3), |_, &x| x, 100.0f64, |a, b| a / b);
+        assert_eq!(par.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn chunk_ranges_partition_the_input() {
+        for (len, n) in [(0, 4), (1, 4), (10, 3), (10, 4), (100, 7), (5, 100)] {
+            let ranges = chunk_ranges(len, n);
+            let mut covered = 0;
+            for (k, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "len={len} n={n} chunk {k}");
+                assert!(r.end > r.start);
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            if len > 0 {
+                assert!(ranges.len() <= n.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn workers_resolution() {
+        assert_eq!(Workers::new(0).get(), 1);
+        assert_eq!(Workers::new(5).get(), 5);
+        assert_eq!(Workers::from_config(3).get(), 3);
+        assert!(Workers::from_config(0).get() >= 1);
+        assert!(Workers::auto().get() >= 1);
+    }
+}

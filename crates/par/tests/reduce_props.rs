@@ -1,0 +1,61 @@
+//! Property tests for the determinism contract: the parallel primitives
+//! must equal their serial counterparts for arbitrary inputs and worker
+//! counts.
+
+use mfpa_par::{map_reduce, ordered_map, Workers};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn map_reduce_equals_serial_fold(
+        items in prop::collection::vec(-1e12f64..1e12, 0..300),
+        n_threads in 1usize..12,
+    ) {
+        // f64 addition is not associative, so this only holds because
+        // the reduction order is fixed to the input order.
+        let serial = items
+            .iter()
+            .map(|&x| x * 0.5 + 1.0)
+            .fold(0.0f64, |a, b| a + b);
+        let par = map_reduce(
+            &items,
+            Workers::new(n_threads),
+            |_, &x| x * 0.5 + 1.0,
+            0.0f64,
+            |a, b| a + b,
+        );
+        prop_assert_eq!(par.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn ordered_map_equals_serial_map(
+        items in prop::collection::vec(any::<u64>(), 0..300),
+        n_threads in 1usize..12,
+    ) {
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.rotate_left((i % 64) as u32))
+            .collect();
+        let par = ordered_map(&items, Workers::new(n_threads), |i, &x| {
+            x.rotate_left((i % 64) as u32)
+        });
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn non_associative_fold_still_matches(
+        items in prop::collection::vec(1.0f64..1e6, 1..120),
+        n_threads in 1usize..9,
+    ) {
+        let serial = items.iter().fold(1e9f64, |a, &b| a / b);
+        let par = map_reduce(
+            &items,
+            Workers::new(n_threads),
+            |_, &x| x,
+            1e9f64,
+            |a, b| a / b,
+        );
+        prop_assert_eq!(par.to_bits(), serial.to_bits());
+    }
+}

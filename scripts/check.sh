@@ -9,7 +9,10 @@ cargo fmt --check
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test (workspace) =="
-cargo test -q --workspace
+echo "== cargo test (workspace, MFPA_THREADS=1) =="
+MFPA_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (workspace, MFPA_THREADS=4) =="
+MFPA_THREADS=4 cargo test -q --workspace
 
 echo "All checks passed."

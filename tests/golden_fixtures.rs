@@ -1,0 +1,157 @@
+//! Golden-fixture regression tests: end-to-end outputs pinned to JSON
+//! fixtures under `tests/golden/`.
+//!
+//! Each test serialises a fixed-seed result to a `serde_json::Value` and
+//! compares it against the checked-in fixture. After an *intended*
+//! behaviour change, regenerate the fixtures with
+//!
+//! ```text
+//! MFPA_BLESS=1 cargo test --test golden_fixtures
+//! ```
+//!
+//! and review the fixture diff like any other code change. An unintended
+//! diff is a regression: these tests exist to catch silent drift in the
+//! simulator, the sanitizer and the evaluation pipeline that
+//! unit-level assertions are too coarse to notice.
+
+use std::path::PathBuf;
+
+use mfpa_core::{Algorithm, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_fleetsim::{FaultConfig, FleetConfig, SimulatedFleet};
+use serde_json::json;
+
+/// Compares `actual` against `tests/golden/<name>.json`, or rewrites the
+/// fixture when `MFPA_BLESS` is set. A missing fixture fails with the
+/// bless instruction rather than silently passing.
+fn check_golden(name: &str, actual: &serde_json::Value) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"));
+    let text = serde_json::to_string(actual).expect("serialise fixture");
+    if std::env::var_os("MFPA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir golden");
+        std::fs::write(&path, text).expect("write fixture");
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             run `MFPA_BLESS=1 cargo test --test golden_fixtures` to create it",
+            path.display()
+        )
+    });
+    let expected: serde_json::Value = serde_json::from_str(&stored).expect("fixture parses");
+    // Round-trip the in-memory value through its own text so numeric
+    // variants (U64 vs I64) compare canonically against the parsed
+    // fixture.
+    let actual: serde_json::Value = serde_json::from_str(&text).expect("round-trip");
+    assert_eq!(
+        &actual, &expected,
+        "output drifted from tests/golden/{name}.json — if the change is \
+         intended, re-bless with MFPA_BLESS=1 and review the fixture diff"
+    );
+}
+
+/// Fleet-level shape of a fixed-seed simulation: populations, failures,
+/// tickets and per-vendor stats. Catches any change to the serial
+/// lottery, the hazard model or the planning pass.
+#[test]
+fn golden_fleet_summary() {
+    let fleet = SimulatedFleet::generate(&FleetConfig::tiny(31));
+    let vendors: Vec<serde_json::Value> = fleet
+        .stats()
+        .iter()
+        .map(|v| {
+            json!({
+                "vendor": format!("{:?}", v.vendor),
+                "population": v.population,
+                "failures": v.failures,
+            })
+        })
+        .collect();
+    let n_records: usize = fleet.drives().iter().map(|d| d.raw_records().len()).sum();
+    let first = &fleet.drives()[0];
+    check_golden(
+        "fleet_summary",
+        &json!({
+            "n_drives": fleet.drives().len(),
+            "n_failures": fleet.failures().len(),
+            "n_tickets": fleet.tickets().len(),
+            "n_raw_records": n_records,
+            "vendors": vendors,
+            "first_drive": {
+                "serial_id": first.serial().id(),
+                "vendor": format!("{:?}", first.vendor()),
+                "n_records": first.raw_records().len(),
+            },
+        }),
+    );
+}
+
+/// Sanitizer accounting over a fault-injected fleet: every quarantine
+/// and repair counter, pinned exactly. Catches drift in both the fault
+/// injector and the sanitization stage.
+#[test]
+fn golden_sanitize_counters() {
+    let fleet =
+        SimulatedFleet::generate(&FleetConfig::tiny(29).with_faults(FaultConfig::uniform(0.03)));
+    let mfpa = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest));
+    let prepared = mfpa.prepare(&fleet).expect("prepare");
+    let faults = fleet.injected_faults();
+    let report = prepared.sanitize_report();
+    check_golden(
+        "sanitize_counters",
+        &json!({
+            "injected": {
+                "sentinel_resets": faults.sentinel_resets,
+                "stuck_attributes": faults.stuck_attributes,
+                "counter_rollovers": faults.counter_rollovers,
+                "duplicated_records": faults.duplicated_records,
+                "out_of_order_swaps": faults.out_of_order_swaps,
+                "missing_values": faults.missing_values,
+                "clock_skews": faults.clock_skews,
+            },
+            "sanitized": {
+                "input_records": report.input_records,
+                "kept_records": report.kept_records,
+                "quarantined_sentinel": report.quarantined_sentinel,
+                "quarantined_range": report.quarantined_range,
+                "quarantined_late": report.quarantined_late,
+                "quarantined_missing": report.quarantined_missing,
+                "duplicates_collapsed": report.duplicates_collapsed,
+                "reordered": report.reordered,
+                "rollovers_repaired": report.rollovers_repaired,
+                "values_imputed": report.values_imputed,
+            },
+        }),
+    );
+}
+
+/// End-to-end evaluation metrics of the reference SFWB + random-forest
+/// pipeline on a fixed-seed fleet. The floats round-trip bit-exactly
+/// through the JSON text, so this pins the full numeric result, not an
+/// approximation.
+#[test]
+fn golden_pipeline_metrics() {
+    let fleet = SimulatedFleet::generate(&FleetConfig::tiny(31));
+    let report = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest))
+        .run(&fleet)
+        .expect("pipeline run");
+    let cm = |m: &mfpa_core::MetricSet| {
+        json!({
+            "tp": m.cm.tp, "fn": m.cm.fn_, "fp": m.cm.fp, "tn": m.cm.tn,
+            "tpr": m.tpr(), "fpr": m.fpr(), "auc": m.auc,
+        })
+    };
+    check_golden(
+        "pipeline_metrics",
+        &json!({
+            "sample": cm(&report.sample),
+            "drive": cm(&report.drive),
+            "n_test_drives": report.n_test_drives,
+            "n_failed_test_drives": report.n_failed_test_drives,
+            "n_train_rows": report.timings.n_train_rows,
+            "n_test_rows": report.timings.n_test_rows,
+        }),
+    );
+}

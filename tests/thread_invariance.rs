@@ -1,0 +1,160 @@
+//! Thread-count-invariance suite: the determinism contract of the
+//! parallel execution layer, checked end to end.
+//!
+//! Every parallel stage in the workspace (fleet telemetry generation,
+//! per-drive sanitize + preprocess, model fitting and batch scoring)
+//! must produce bit-identical output at any worker count. The widths
+//! {1, 2, 7} cover the serial fast path, the even split, and uneven
+//! tail chunks. Wall-clock fields (`*_secs`) are the only report fields
+//! allowed to differ, so comparisons go through counters and
+//! `f64::to_bits`.
+
+use mfpa_core::deploy::score_fleet;
+use mfpa_core::{Algorithm, EvalReport, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_fleetsim::{FaultConfig, FleetConfig, SimulatedDrive, SimulatedFleet};
+
+const WIDTHS: [usize; 3] = [1, 2, 7];
+
+/// NaN-proof canonical form of a drive's raw emission stream: fault
+/// injection blanks attributes to NaN, and the derived `PartialEq` on
+/// records would report two bit-identical fleets as different (NaN ≠
+/// NaN). Day stamps plus attribute bit patterns capture the stream
+/// exactly.
+fn drive_bits(drive: &SimulatedDrive) -> (u64, Vec<(i64, Vec<u64>)>) {
+    let records = drive
+        .raw_records()
+        .iter()
+        .map(|r| {
+            (
+                r.day.day(),
+                r.smart.as_slice().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect();
+    (drive.serial().id(), records)
+}
+
+/// A tiny fleet with fault injection on, so the sanitize counters the
+/// suite compares are non-trivial.
+fn fleet_config(n_threads: usize) -> FleetConfig {
+    FleetConfig::tiny(29)
+        .with_faults(FaultConfig::uniform(0.03))
+        .with_threads(n_threads)
+}
+
+#[test]
+fn fleet_generation_is_thread_count_invariant() {
+    let reference = SimulatedFleet::generate(&fleet_config(WIDTHS[0]));
+    for &n in &WIDTHS[1..] {
+        let fleet = SimulatedFleet::generate(&fleet_config(n));
+        assert_eq!(fleet.drives().len(), reference.drives().len());
+        for (a, b) in fleet.drives().iter().zip(reference.drives()) {
+            assert_eq!(drive_bits(a), drive_bits(b), "n_threads = {n}");
+        }
+        assert_eq!(fleet.failures(), reference.failures(), "n_threads = {n}");
+        assert_eq!(fleet.tickets(), reference.tickets(), "n_threads = {n}");
+        assert_eq!(fleet.stats(), reference.stats(), "n_threads = {n}");
+        assert_eq!(
+            fleet.firmware_stats(),
+            reference.firmware_stats(),
+            "n_threads = {n}"
+        );
+        assert_eq!(
+            fleet.injected_faults(),
+            reference.injected_faults(),
+            "n_threads = {n}"
+        );
+    }
+}
+
+/// Everything in an [`EvalReport`] except wall-clock seconds and the
+/// resolved worker count itself.
+fn assert_reports_identical(a: &EvalReport, b: &EvalReport, n: usize) {
+    assert_eq!(a.sample.cm, b.sample.cm, "n_threads = {n}");
+    assert_eq!(a.drive.cm, b.drive.cm, "n_threads = {n}");
+    assert_eq!(
+        a.sample.auc.to_bits(),
+        b.sample.auc.to_bits(),
+        "n_threads = {n}"
+    );
+    assert_eq!(
+        a.drive.auc.to_bits(),
+        b.drive.auc.to_bits(),
+        "n_threads = {n}"
+    );
+    assert_eq!(a.n_test_drives, b.n_test_drives, "n_threads = {n}");
+    assert_eq!(
+        a.n_failed_test_drives, b.n_failed_test_drives,
+        "n_threads = {n}"
+    );
+    assert_eq!(
+        a.timings.n_raw_records, b.timings.n_raw_records,
+        "n_threads = {n}"
+    );
+    assert_eq!(
+        a.timings.n_quarantined, b.timings.n_quarantined,
+        "n_threads = {n}"
+    );
+    assert_eq!(
+        a.timings.n_repaired, b.timings.n_repaired,
+        "n_threads = {n}"
+    );
+    assert_eq!(
+        a.timings.n_train_rows, b.timings.n_train_rows,
+        "n_threads = {n}"
+    );
+    assert_eq!(
+        a.timings.n_test_rows, b.timings.n_test_rows,
+        "n_threads = {n}"
+    );
+}
+
+#[test]
+fn pipeline_report_is_thread_count_invariant() {
+    // One shared fleet; only the pipeline's worker count varies.
+    let fleet = SimulatedFleet::generate(&fleet_config(1));
+    let run = |n: usize| {
+        Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_threads(n))
+            .run(&fleet)
+            .expect("pipeline run")
+    };
+    let reference = run(WIDTHS[0]);
+    assert!(
+        reference.timings.n_quarantined + reference.timings.n_repaired > 0,
+        "fixture fleet should exercise the sanitizer"
+    );
+    for &n in &WIDTHS[1..] {
+        assert_reports_identical(&run(n), &reference, n);
+    }
+}
+
+#[test]
+fn batch_scoring_is_thread_count_invariant() {
+    let fleet = SimulatedFleet::generate(
+        &FleetConfig::tiny(29)
+            .with_population_fraction(0.001)
+            .with_faults(FaultConfig::uniform(0.03)),
+    );
+    let mfpa = Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest));
+    let prepared = mfpa.prepare(&fleet).expect("prepare");
+    let all: Vec<usize> = (0..prepared.n_rows()).collect();
+    let trained = mfpa.train_rows(&prepared, &all).expect("train");
+
+    let reference = score_fleet(fleet.drives(), &trained, WIDTHS[0]).expect("score_fleet");
+    assert_eq!(reference.len(), fleet.drives().len());
+    assert!(
+        reference.iter().any(|s| !s.report.is_clean()),
+        "faulty streams should leave sanitize accounting"
+    );
+    for &n in &WIDTHS[1..] {
+        let scores = score_fleet(fleet.drives(), &trained, n).expect("score_fleet");
+        assert_eq!(scores.len(), reference.len());
+        for (a, b) in scores.iter().zip(&reference) {
+            assert_eq!(a.serial, b.serial, "n_threads = {n}");
+            assert_eq!(a.max_score.to_bits(), b.max_score.to_bits());
+            assert_eq!(a.last_score.to_bits(), b.last_score.to_bits());
+            assert_eq!(a.n_scored, b.n_scored);
+            assert_eq!(a.report, b.report);
+        }
+    }
+}

@@ -5,6 +5,7 @@ mod ablations;
 mod dataset_exps;
 mod defs;
 mod model_exps;
+mod perf;
 mod precursors;
 mod robustness;
 mod scale;
@@ -165,6 +166,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "scale",
             title: "Scale: deterministic parallel speedup (MFPA_THREADS)",
             run: scale::scale,
+        },
+        Experiment {
+            id: "perf",
+            title: "Perf: stage trajectory, histogram vs exact split search",
+            run: perf::perf,
         },
     ]
 }

@@ -67,14 +67,31 @@ impl Algorithm {
     ///
     /// `features` is the column set the model will see (the threshold
     /// detector needs it to locate the SMART attributes its rules read);
-    /// `seq_len` only matters for [`Algorithm::CnnLstm`].
-    pub fn build(self, seed: u64, seq_len: usize, features: &[FeatureId]) -> Box<dyn Classifier> {
+    /// `seq_len` only matters for [`Algorithm::CnnLstm`], and `max_bins`
+    /// (histogram split-search budget, `0` = exact) only for the tree
+    /// ensembles.
+    pub fn build(
+        self,
+        seed: u64,
+        seq_len: usize,
+        features: &[FeatureId],
+        max_bins: usize,
+    ) -> Box<dyn Classifier> {
         match self {
             Algorithm::Bayes => Box::new(GaussianNb::new().with_log1p(true)),
             Algorithm::Logistic => Box::new(LogisticRegression::new(1e-4, 200)),
             Algorithm::Svm => Box::new(LinearSvm::new(1e-4, 25).with_seed(seed)),
-            Algorithm::RandomForest => Box::new(RandomForest::new(120, 12).with_seed(seed)),
-            Algorithm::Gbdt => Box::new(Gbdt::new(150, 0.1, 3).with_subsample(0.8).with_seed(seed)),
+            Algorithm::RandomForest => Box::new(
+                RandomForest::new(120, 12)
+                    .with_seed(seed)
+                    .with_max_bins(max_bins),
+            ),
+            Algorithm::Gbdt => Box::new(
+                Gbdt::new(150, 0.1, 3)
+                    .with_subsample(0.8)
+                    .with_seed(seed)
+                    .with_max_bins(max_bins),
+            ),
             Algorithm::CnnLstm => Box::new(
                 CnnLstm::new(seq_len, features.len())
                     .with_epochs(25)
@@ -128,7 +145,7 @@ mod tests {
     #[test]
     fn logistic_builds_and_is_flat() {
         let feats = FeatureGroup::S.features();
-        let m = Algorithm::Logistic.build(0, 5, &feats);
+        let m = Algorithm::Logistic.build(0, 5, &feats, 256);
         assert_eq!(m.name(), "LogReg");
         assert!(!Algorithm::Logistic.needs_sequence());
     }
@@ -150,7 +167,7 @@ mod tests {
     fn builders_produce_models() {
         let feats = FeatureGroup::Sfwb.features();
         for a in Algorithm::LEARNED {
-            let m = a.build(1, 5, &feats);
+            let m = a.build(1, 5, &feats, 256);
             assert!(!m.name().is_empty());
         }
     }
@@ -158,10 +175,10 @@ mod tests {
     #[test]
     fn threshold_detector_finds_smart_columns() {
         let feats = FeatureGroup::S.features();
-        let m = Algorithm::VendorThreshold.build(0, 5, &feats);
+        let m = Algorithm::VendorThreshold.build(0, 5, &feats, 256);
         assert_eq!(m.name(), "SMART-threshold");
         // Without SMART columns there are no rules, but the build works.
         let wb = FeatureGroup::W.features();
-        let _ = Algorithm::VendorThreshold.build(0, 5, &wb);
+        let _ = Algorithm::VendorThreshold.build(0, 5, &wb, 256);
     }
 }

@@ -84,6 +84,9 @@ pub struct MfpaConfig {
     /// Purely a throughput knob — every report is bit-identical at any
     /// value.
     pub n_threads: usize,
+    /// Per-feature bin budget for the tree ensembles' histogram split
+    /// search (`0` = the exact re-sorting path).
+    pub max_bins: usize,
 }
 
 impl MfpaConfig {
@@ -107,6 +110,7 @@ impl MfpaConfig {
             vendor: None,
             seed: 17,
             n_threads: 0,
+            max_bins: 256,
         }
     }
 
@@ -131,6 +135,12 @@ impl MfpaConfig {
     /// Sets the worker-thread count (`0` = automatic).
     pub fn with_threads(mut self, n: usize) -> Self {
         self.n_threads = n;
+        self
+    }
+
+    /// Sets the tree ensembles' histogram bin budget (`0` = exact path).
+    pub fn with_max_bins(mut self, n: usize) -> Self {
+        self.max_bins = n;
         self
     }
 
@@ -435,10 +445,12 @@ impl Mfpa {
         let sub = frame.select_rows(&kept).select_cols(&cols);
         let y: Vec<bool> = sub.labels().to_vec();
 
-        let mut model =
-            self.config
-                .algorithm
-                .build(self.config.seed, self.config.window.seq_len, &features);
+        let mut model = self.config.algorithm.build(
+            self.config.seed,
+            self.config.window.seq_len,
+            &features,
+            self.config.max_bins,
+        );
         let t0 = Instant::now();
         model.fit(sub.matrix(), &y).map_err(|e| match e {
             mfpa_ml::MlError::SingleClass => {

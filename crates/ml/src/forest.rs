@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::binning::{BinnedMatrix, DEFAULT_MAX_BINS};
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
 use crate::tree::{DecisionTree, MaxFeatures, TreeParams};
@@ -56,6 +57,7 @@ impl RandomForest {
                 min_samples_split: 2,
                 min_samples_leaf: 1,
                 max_features: MaxFeatures::Sqrt,
+                max_bins: DEFAULT_MAX_BINS,
             },
             seed: 0,
             n_threads: Workers::auto().get(),
@@ -79,6 +81,13 @@ impl RandomForest {
     /// Overrides the minimum samples per leaf.
     pub fn with_min_samples_leaf(mut self, n: usize) -> Self {
         self.tree_params.min_samples_leaf = n.max(1);
+        self
+    }
+
+    /// Overrides the per-feature bin budget for histogram split search;
+    /// `0` selects the exact (re-sorting) training path.
+    pub fn with_max_bins(mut self, n: usize) -> Self {
+        self.tree_params.max_bins = n;
         self
     }
 
@@ -130,6 +139,24 @@ impl RandomForest {
         tree.fit_regression(&bx, &bt, None)?;
         Ok(tree)
     }
+
+    /// Binned analogue of [`RandomForest::fit_one_tree`]: same bootstrap
+    /// draw and tree seed, but the bootstrap is a row-index view into the
+    /// shared [`BinnedMatrix`] — no per-tree matrix materialisation.
+    fn fit_one_tree_binned(
+        binned: &BinnedMatrix,
+        targets: &[f64],
+        params: TreeParams,
+        seed: u64,
+    ) -> Result<DecisionTree, MlError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = binned.n_rows();
+        let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+        let mut tree =
+            DecisionTree::new(params).with_seed(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        tree.fit_binned(binned, &indices, targets, None)?;
+        Ok(tree)
+    }
 }
 
 impl Classifier for RandomForest {
@@ -144,9 +171,18 @@ impl Classifier for RandomForest {
         let tree_seeds: Vec<u64> = (0..self.n_trees)
             .map(|ix| base_seed.wrapping_add(ix as u64))
             .collect();
-        let results = ordered_map(&tree_seeds, Workers::new(self.n_threads), |_, &seed| {
-            Self::fit_one_tree(x, &targets, params, seed)
-        });
+        let workers = Workers::new(self.n_threads);
+        let results = if params.max_bins > 0 {
+            // Quantize once; every tree's bootstrap is an index view.
+            let binned = BinnedMatrix::build(x, params.max_bins, workers);
+            ordered_map(&tree_seeds, workers, |_, &seed| {
+                Self::fit_one_tree_binned(&binned, &targets, params, seed)
+            })
+        } else {
+            ordered_map(&tree_seeds, workers, |_, &seed| {
+                Self::fit_one_tree(x, &targets, params, seed)
+            })
+        };
         self.trees = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         self.n_features = Some(x.n_cols());
         Ok(())

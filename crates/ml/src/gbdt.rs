@@ -12,6 +12,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::binning::{BinnedMatrix, DEFAULT_MAX_BINS};
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
 use crate::tree::{DecisionTree, MaxFeatures, TreeParams};
@@ -40,6 +41,7 @@ pub struct Gbdt {
     max_depth: usize,
     subsample: f64,
     min_samples_leaf: usize,
+    max_bins: usize,
     seed: u64,
     n_threads: usize,
     base_score: f64,
@@ -57,6 +59,7 @@ impl Gbdt {
             max_depth,
             subsample: 1.0,
             min_samples_leaf: 1,
+            max_bins: DEFAULT_MAX_BINS,
             seed: 0,
             n_threads: Workers::auto().get(),
             base_score: 0.0,
@@ -88,6 +91,14 @@ impl Gbdt {
     /// Sets the minimum samples per leaf of each tree.
     pub fn with_min_samples_leaf(mut self, n: usize) -> Self {
         self.min_samples_leaf = n.max(1);
+        self
+    }
+
+    /// Overrides the per-feature bin budget for histogram split search;
+    /// `0` selects the exact (re-sorting) training path. The binned
+    /// matrix is built once per fit and reused across every round.
+    pub fn with_max_bins(mut self, n: usize) -> Self {
+        self.max_bins = n;
         self
     }
 
@@ -178,6 +189,14 @@ impl Classifier for Gbdt {
             min_samples_split: 2,
             min_samples_leaf: self.min_samples_leaf,
             max_features: MaxFeatures::All,
+            max_bins: self.max_bins,
+        };
+        // Quantize once; every boosting round trains on bin codes and
+        // never re-reads the row-major matrix.
+        let binned = if self.max_bins > 0 {
+            Some(BinnedMatrix::build(x, self.max_bins, workers))
+        } else {
+            None
         };
         let mut trees = Vec::with_capacity(self.n_rounds);
         let mut all_rows: Vec<usize> = (0..n).collect();
@@ -191,10 +210,16 @@ impl Classifier for Gbdt {
                     .wrapping_add(round as u64)
                     .wrapping_mul(0x9E37_79B9),
             );
-            if self.subsample < 1.0 {
+            let rows: &[usize] = if self.subsample < 1.0 {
                 all_rows.shuffle(&mut rng);
                 let k = ((n as f64) * self.subsample).ceil().max(2.0) as usize;
-                let rows = &all_rows[..k.min(n)];
+                &all_rows[..k.min(n)]
+            } else {
+                &all_rows
+            };
+            if let Some(binned) = &binned {
+                tree.fit_binned(binned, rows, &grads, Some(&hess))?;
+            } else if rows.len() < n {
                 let bx = x.select_rows(rows);
                 let bg: Vec<f64> = rows.iter().map(|&i| grads[i]).collect();
                 let bh: Vec<f64> = rows.iter().map(|&i| hess[i]).collect();

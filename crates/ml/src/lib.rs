@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod binning;
 mod error;
 mod forest;
 mod gbdt;
@@ -48,6 +49,7 @@ mod svm;
 mod threshold;
 pub mod tree;
 
+pub use binning::{BinnedMatrix, DEFAULT_MAX_BINS};
 pub use error::MlError;
 pub use forest::RandomForest;
 pub use gbdt::Gbdt;

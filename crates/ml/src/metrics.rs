@@ -230,14 +230,44 @@ pub fn auc(y_true: &[bool], scores: &[f64]) -> f64 {
 /// Used to compare models at a fixed false-alarm budget (the
 /// SMART-threshold baseline operates at FPR ≈ 0.1%).
 pub fn tpr_at_fpr(y_true: &[bool], scores: &[f64], max_fpr: f64) -> (f64, f64) {
-    let mut thresholds: Vec<f64> = scores.to_vec();
-    thresholds.sort_by(|a, b| a.total_cmp(b));
-    thresholds.dedup();
+    assert_eq!(y_true.len(), scores.len(), "label/score slices must align");
+    let n_pos = y_true.iter().filter(|&&l| l).count() as f64;
+    let n_neg = y_true.len() as f64 - n_pos;
+
+    // One sort, then a cumulative TP/FP sweep from the highest threshold
+    // down (the same shape as `roc_curve`). Thresholding is inclusive
+    // (`score >= t` flags positive), so after absorbing the tie block of
+    // value `t` the running counts are exactly the confusion matrix at
+    // threshold `t`. FPR only grows as the threshold falls, so each
+    // feasible block supersedes the last and the final update is the
+    // smallest feasible threshold — the same answer the per-threshold
+    // O(n²) rescan produced.
+    // A NaN score is never flagged by any threshold (`NaN >= t` is
+    // false) and a NaN threshold flags nothing — NaN rows stay in the
+    // rate denominators (as misses) but out of the sweep.
+    let mut order: Vec<usize> = (0..scores.len()).filter(|&i| !scores[i].is_nan()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
     let mut best = (0.0, f64::INFINITY);
-    for &t in &thresholds {
-        let cm = ConfusionMatrix::from_scores(y_true, scores, t);
-        if cm.fpr() <= max_fpr && cm.tpr() > best.0 {
-            best = (cm.tpr(), t);
+    let (mut tp, mut fp) = (0.0, 0.0);
+    let mut i = 0;
+    while i < order.len() {
+        let t = scores[order[i]];
+        while i < order.len() && scores[order[i]] == t {
+            if y_true[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        let fpr = if n_neg > 0.0 { fp / n_neg } else { 0.0 };
+        if fpr > max_fpr {
+            break;
+        }
+        let tpr = if n_pos > 0.0 { tp / n_pos } else { 0.0 };
+        if tpr > 0.0 {
+            best = (tpr, t);
         }
     }
     best
@@ -319,6 +349,76 @@ mod tests {
         // With budget 0.25 we can include the 0.7 negative → TPR 1.0.
         let (tpr, _) = tpr_at_fpr(&y, &s, 0.25);
         assert_eq!(tpr, 1.0);
+    }
+
+    /// The replaced per-threshold implementation, kept verbatim as the
+    /// oracle: rescan every distinct threshold with a full confusion
+    /// matrix (O(n²)).
+    fn tpr_at_fpr_oracle(y_true: &[bool], scores: &[f64], max_fpr: f64) -> (f64, f64) {
+        let mut thresholds: Vec<f64> = scores.to_vec();
+        thresholds.sort_by(|a, b| a.total_cmp(b));
+        thresholds.dedup();
+        let mut best = (0.0, f64::INFINITY);
+        for &t in &thresholds {
+            let cm = ConfusionMatrix::from_scores(y_true, scores, t);
+            if cm.fpr() <= max_fpr && cm.tpr() > best.0 {
+                best = (cm.tpr(), t);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn tpr_at_fpr_hand_computed_with_ties() {
+        // Tie blocks mixing both classes. Sorted flag counts:
+        //   t=0.8 → tp=2 fp=1 (tpr 0.50, fpr 0.25)
+        //   t=0.5 → tp=3 fp=2 (tpr 0.75, fpr 0.50)
+        //   t=0.2 → tp=4 fp=3 (tpr 1.00, fpr 0.75)
+        //   t=0.1 → tp=4 fp=4 (tpr 1.00, fpr 1.00)
+        let y = [true, false, true, true, false, false, true, false];
+        let s = [0.8, 0.8, 0.8, 0.5, 0.5, 0.2, 0.2, 0.1];
+        assert_eq!(tpr_at_fpr(&y, &s, 0.0), (0.0, f64::INFINITY));
+        assert_eq!(tpr_at_fpr(&y, &s, 0.25), (0.5, 0.8));
+        assert_eq!(tpr_at_fpr(&y, &s, 0.5), (0.75, 0.5));
+        assert_eq!(tpr_at_fpr(&y, &s, 0.75), (1.0, 0.2));
+        // The budget-1.0 answer keeps the *smallest* feasible threshold
+        // even though 0.2 already reaches TPR 1.0 — matching the oracle.
+        assert_eq!(tpr_at_fpr(&y, &s, 1.0), (1.0, 0.1));
+    }
+
+    #[test]
+    fn tpr_at_fpr_identical_to_per_threshold_oracle() {
+        let cases: &[(&[bool], &[f64])] = &[
+            (
+                &[true, false, true, true, false, false, true, false],
+                &[0.8, 0.8, 0.8, 0.5, 0.5, 0.2, 0.2, 0.1],
+            ),
+            // All scores tied.
+            (&[true, false, true, false], &[0.5, 0.5, 0.5, 0.5]),
+            // Perfectly separated.
+            (&[false, false, true, true], &[0.1, 0.2, 0.8, 0.9]),
+            // Inverted ranking: the only feasible flags are wrong.
+            (&[true, true, false, false], &[0.1, 0.2, 0.8, 0.9]),
+            // Single-class inputs.
+            (&[true, true, true], &[0.3, 0.2, 0.1]),
+            (&[false, false, false], &[0.3, 0.2, 0.1]),
+        ];
+        for (y, s) in cases {
+            for max_fpr in [0.0, 0.2, 0.25, 1.0 / 3.0, 0.5, 0.75, 1.0] {
+                let fast = tpr_at_fpr(y, s, max_fpr);
+                let slow = tpr_at_fpr_oracle(y, s, max_fpr);
+                assert_eq!(
+                    fast.0.to_bits(),
+                    slow.0.to_bits(),
+                    "tpr mismatch: y={y:?} s={s:?} max_fpr={max_fpr}"
+                );
+                assert_eq!(
+                    fast.1.to_bits(),
+                    slow.1.to_bits(),
+                    "threshold mismatch: y={y:?} s={s:?} max_fpr={max_fpr}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,13 +4,29 @@
 //! for binary 0/1 targets, minimising weighted squared error is identical
 //! to minimising Gini impurity, since `Var = p(1−p) = Gini/2`) and GBDT
 //! (regression on gradients with Newton leaf values `Σg / Σh`).
+//!
+//! Two split-search strategies share the same tree structure:
+//!
+//! * **Exact** ([`TreeParams::max_bins`] `== 0`): every candidate
+//!   feature is re-sorted at every node and all `n − 1` thresholds are
+//!   scanned — `O(F · n log n)` per node. Kept for parity testing and as
+//!   the reference semantics.
+//! * **Histogram** (`max_bins > 0`, the default): features are
+//!   quantized once into a [`BinnedMatrix`]; each node accumulates
+//!   per-bin `(Σtarget, count)` histograms in `O(n · F)` and scans at
+//!   most `max_bins − 1` boundaries per feature. When a node considers
+//!   *all* features (the GBDT configuration), the larger child's
+//!   histograms are obtained for free by subtracting the smaller
+//!   child's from the parent's.
 
 use mfpa_dataset::Matrix;
+use mfpa_par::Workers;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::binning::{BinnedMatrix, DEFAULT_MAX_BINS};
 use crate::error::{check_fit_inputs, check_predict_inputs, MlError};
 use crate::model::Classifier;
 
@@ -51,6 +67,10 @@ pub struct TreeParams {
     pub min_samples_leaf: usize,
     /// Number of candidate features per split.
     pub max_features: MaxFeatures,
+    /// Bin budget for histogram split search; `0` selects the exact
+    /// (re-sorting) path. Values above 256 are clamped — bin codes are
+    /// `u8`.
+    pub max_bins: usize,
 }
 
 impl Default for TreeParams {
@@ -60,6 +80,7 @@ impl Default for TreeParams {
             min_samples_split: 2,
             min_samples_leaf: 1,
             max_features: MaxFeatures::All,
+            max_bins: DEFAULT_MAX_BINS,
         }
     }
 }
@@ -114,6 +135,61 @@ struct BuildCtx<'a> {
     feature_pool: Vec<usize>,
 }
 
+struct BinnedCtx<'a> {
+    binned: &'a BinnedMatrix,
+    targets: &'a [f64],
+    hessians: Option<&'a [f64]>,
+    params: TreeParams,
+    rng: StdRng,
+    feature_pool: Vec<usize>,
+}
+
+/// Per-bin `(Σtarget, count)` histogram of one feature at one node.
+///
+/// The split gain uses only target sums and counts (hessians enter at
+/// the leaf values, not the scan), so two arrays per feature suffice.
+#[derive(Debug, Clone)]
+struct Hist {
+    sum: Vec<f64>,
+    cnt: Vec<u32>,
+}
+
+impl Hist {
+    /// Accumulates the histogram of `feature` over `indices`.
+    fn accumulate(ctx: &BinnedCtx<'_>, feature: usize, indices: &[usize]) -> Hist {
+        let col = ctx.binned.column(feature);
+        let n_bins = ctx.binned.n_bins(feature);
+        let mut sum = vec![0.0; n_bins];
+        let mut cnt = vec![0u32; n_bins];
+        for &i in indices {
+            let b = col[i] as usize;
+            sum[b] += ctx.targets[i];
+            cnt[b] += 1;
+        }
+        Hist { sum, cnt }
+    }
+
+    /// The sibling's histogram: parent minus this child. For 0/1
+    /// classification targets the sums are small integers, so the
+    /// subtraction is exact and bit-identical to direct accumulation.
+    fn sibling_from(&self, parent: &Hist) -> Hist {
+        Hist {
+            sum: parent
+                .sum
+                .iter()
+                .zip(&self.sum)
+                .map(|(p, c)| p - c)
+                .collect(),
+            cnt: parent
+                .cnt
+                .iter()
+                .zip(&self.cnt)
+                .map(|(p, c)| p - c)
+                .collect(),
+        }
+    }
+}
+
 impl DecisionTree {
     /// Creates an unfitted tree.
     pub fn new(params: TreeParams) -> Self {
@@ -146,6 +222,12 @@ impl DecisionTree {
     /// Fits the tree as a regressor on `targets`, with optional per-sample
     /// `hessians` for Newton leaf values `Σtarget / Σhessian` (GBDT).
     ///
+    /// With [`TreeParams::max_bins`] `> 0` (the default) the features
+    /// are quantized internally and the histogram path is used; `0`
+    /// selects the exact path. Ensembles that reuse one quantization
+    /// across many trees should build a [`BinnedMatrix`] once and call
+    /// [`DecisionTree::fit_binned`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::EmptyTrainingSet`] or [`MlError::LabelMismatch`]
@@ -173,6 +255,11 @@ impl DecisionTree {
                 });
             }
         }
+        if self.params.max_bins > 0 {
+            let binned = BinnedMatrix::build(x, self.params.max_bins, Workers::new(1));
+            let all: Vec<usize> = (0..x.n_rows()).collect();
+            return self.fit_binned(&binned, &all, targets, hessians);
+        }
         self.nodes.clear();
         self.importances = vec![0.0; x.n_cols()];
         self.n_features = Some(x.n_cols());
@@ -186,13 +273,67 @@ impl DecisionTree {
         };
         let all: Vec<usize> = (0..x.n_rows()).collect();
         self.build(&mut ctx, all, 0);
+        self.normalise_importances();
+        Ok(())
+    }
+
+    /// Fits the tree on pre-quantized features: `rows` selects the
+    /// training rows of `binned` (indices may repeat, enabling bootstrap
+    /// sampling), while `targets`/`hessians` are indexed by the binned
+    /// matrix's **global** row ids. Ensembles build the [`BinnedMatrix`]
+    /// once per fit and share it across every tree and boosting round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] or [`MlError::LabelMismatch`]
+    /// for degenerate inputs.
+    pub fn fit_binned(
+        &mut self,
+        binned: &BinnedMatrix,
+        rows: &[usize],
+        targets: &[f64],
+        hessians: Option<&[f64]>,
+    ) -> Result<(), MlError> {
+        if rows.is_empty() || binned.n_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if targets.len() != binned.n_rows() {
+            return Err(MlError::LabelMismatch {
+                rows: binned.n_rows(),
+                labels: targets.len(),
+            });
+        }
+        if let Some(h) = hessians {
+            if h.len() != binned.n_rows() {
+                return Err(MlError::LabelMismatch {
+                    rows: binned.n_rows(),
+                    labels: h.len(),
+                });
+            }
+        }
+        self.nodes.clear();
+        self.importances = vec![0.0; binned.n_cols()];
+        self.n_features = Some(binned.n_cols());
+        let mut ctx = BinnedCtx {
+            binned,
+            targets,
+            hessians,
+            params: self.params,
+            rng: StdRng::seed_from_u64(self.seed),
+            feature_pool: (0..binned.n_cols()).collect(),
+        };
+        self.build_binned(&mut ctx, rows.to_vec(), 0, Vec::new());
+        self.normalise_importances();
+        Ok(())
+    }
+
+    fn normalise_importances(&mut self) {
         let total: f64 = self.importances.iter().sum();
         if total > 0.0 {
             for imp in &mut self.importances {
                 *imp /= total;
             }
         }
-        Ok(())
     }
 
     /// Predicts the raw tree value for each row (class-probability for
@@ -348,11 +489,182 @@ impl DecisionTree {
         }
         best
     }
+
+    /// Histogram analogue of [`DecisionTree::build`]. `hists` carries
+    /// per-feature histograms inherited from the parent's subtraction
+    /// (all `None` at the root and whenever subtraction is off).
+    fn build_binned(
+        &mut self,
+        ctx: &mut BinnedCtx<'_>,
+        indices: Vec<usize>,
+        depth: usize,
+        hists: Vec<Option<Hist>>,
+    ) -> u32 {
+        let node_ix = self.nodes.len() as u32;
+        let sum_t: f64 = indices.iter().map(|&i| ctx.targets[i]).sum();
+        let sum_h: f64 = match ctx.hessians {
+            Some(h) => indices.iter().map(|&i| h[i]).sum(),
+            None => indices.len() as f64,
+        };
+        let value = if sum_h.abs() > 1e-12 {
+            sum_t / sum_h
+        } else {
+            0.0
+        };
+        self.nodes.push(Node {
+            feature: LEAF,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+        });
+
+        if depth >= ctx.params.max_depth || indices.len() < ctx.params.min_samples_split {
+            return node_ix;
+        }
+        let sum_sq: f64 = indices
+            .iter()
+            .map(|&i| ctx.targets[i] * ctx.targets[i])
+            .sum();
+        let node_sse = sum_sq - sum_t * sum_t / indices.len() as f64;
+        if node_sse < 1e-12 {
+            return node_ix;
+        }
+
+        // Same candidate draw (and RNG consumption) as the exact path.
+        let n_features = ctx.feature_pool.len();
+        let n_candidates = ctx.params.max_features.resolve(n_features);
+        ctx.feature_pool.shuffle(&mut ctx.rng);
+        let candidates: Vec<usize> = ctx.feature_pool[..n_candidates].to_vec();
+        // Subtraction only pays when the children will reuse *every*
+        // feature's histogram — i.e. no per-node feature subsampling.
+        let use_subtraction = n_candidates == n_features;
+
+        let mut hists = if hists.is_empty() {
+            vec![None; ctx.binned.n_cols()]
+        } else {
+            hists
+        };
+        for &f in &candidates {
+            if hists[f].is_none() {
+                hists[f] = Some(Hist::accumulate(ctx, f, &indices));
+            }
+        }
+
+        let Some(split) = Self::best_split_binned(ctx, &indices, sum_t, &candidates, &hists) else {
+            return node_ix;
+        };
+
+        self.importances[split.feature] += split.gain;
+        let col = ctx.binned.column(split.feature);
+        let (left_ix, right_ix): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| (col[i] as usize) <= split.bin);
+
+        let (left_hists, right_hists) = if use_subtraction {
+            // Accumulate the smaller child; the larger is parent − smaller.
+            let left_is_small = left_ix.len() <= right_ix.len();
+            let small_ix = if left_is_small { &left_ix } else { &right_ix };
+            let mut small = Vec::with_capacity(n_features);
+            let mut large = Vec::with_capacity(n_features);
+            for (f, parent) in hists.iter().enumerate() {
+                let parent = parent.as_ref().expect("all features accumulated");
+                let child = Hist::accumulate(ctx, f, small_ix);
+                large.push(Some(child.sibling_from(parent)));
+                small.push(Some(child));
+            }
+            if left_is_small {
+                (small, large)
+            } else {
+                (large, small)
+            }
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        drop(hists);
+
+        let left = self.build_binned(ctx, left_ix, depth + 1, left_hists);
+        let right = self.build_binned(ctx, right_ix, depth + 1, right_hists);
+        let node = &mut self.nodes[node_ix as usize];
+        node.feature = split.feature as u32;
+        node.threshold = split.threshold;
+        node.left = left;
+        node.right = right;
+        node_ix
+    }
+
+    /// Scans at most `n_bins − 1` boundaries per candidate feature over
+    /// the pre-accumulated histograms. Gain arithmetic mirrors
+    /// [`DecisionTree::best_split`] operation-for-operation so that the
+    /// two paths agree bit-for-bit whenever the bin sums do.
+    fn best_split_binned(
+        ctx: &BinnedCtx<'_>,
+        indices: &[usize],
+        total_sum: f64,
+        candidates: &[usize],
+        hists: &[Option<Hist>],
+    ) -> Option<BinnedSplit> {
+        let total_n = indices.len() as f64;
+        let total_cnt = indices.len() as u32;
+        let parent_score = total_sum * total_sum / total_n;
+
+        let mut best: Option<BinnedSplit> = None;
+        for &feature in candidates {
+            let edges = ctx.binned.edges(feature);
+            if edges.is_empty() {
+                continue; // globally constant feature
+            }
+            let hist = hists[feature].as_ref().expect("candidate accumulated");
+            let mut left_sum = 0.0;
+            let mut left_cnt = 0u32;
+            for (b, &edge) in edges.iter().enumerate() {
+                left_sum += hist.sum[b];
+                left_cnt += hist.cnt[b];
+                if left_cnt == 0 {
+                    continue; // nothing routes left of this boundary
+                }
+                let right_cnt = total_cnt - left_cnt;
+                if right_cnt == 0 {
+                    break; // nothing ever routes right of here
+                }
+                if (left_cnt as usize) < ctx.params.min_samples_leaf
+                    || (right_cnt as usize) < ctx.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let left_n = left_cnt as f64;
+                let right_n = right_cnt as f64;
+                let right_sum = total_sum - left_sum;
+                let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                let gain = (score - parent_score).max(0.0);
+                if best.as_ref().is_none_or(|s| gain > s.gain) {
+                    best = Some(BinnedSplit {
+                        feature,
+                        bin: b,
+                        threshold: edge,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
 }
 
 #[derive(Debug)]
 struct Split {
     feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+#[derive(Debug)]
+struct BinnedSplit {
+    feature: usize,
+    /// Rows with bin code `<= bin` route left.
+    bin: usize,
+    /// The bin edge, recorded as the node threshold so raw-value routing
+    /// at prediction time matches bin-code routing at training time.
     threshold: f64,
     gain: f64,
 }

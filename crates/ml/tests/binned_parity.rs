@@ -1,0 +1,161 @@
+//! Exact↔binned parity: with a bin budget at least as large as the
+//! number of distinct values per feature, the quantile edges are the
+//! midpoints between every consecutive distinct pair — exactly the
+//! exact path's candidate set. For 0/1 classification targets every
+//! histogram sum is a small integer, so gains agree bit-for-bit, the
+//! two paths pick the same partitions in the same order, and the fitted
+//! trees predict identically on the training sample (recorded
+//! thresholds may differ *within* the gap between two sample values —
+//! both routes every training row the same way).
+
+use mfpa_dataset::Matrix;
+use mfpa_ml::{Classifier, DecisionTree, Gbdt, MaxFeatures, RandomForest, TreeParams};
+use proptest::prelude::*;
+
+/// Builds a matrix whose cells come from a small integer alphabet, so
+/// each feature has at most `alphabet` distinct values — far below the
+/// default 256-bin budget.
+fn int_matrix(cells: &[usize], n_cols: usize, alphabet: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = cells
+        .chunks(n_cols)
+        .map(|chunk| chunk.iter().map(|&c| (c % alphabet) as f64).collect())
+        .collect();
+    Matrix::from_rows(&rows).expect("non-empty rectangular rows")
+}
+
+/// Labels with both classes forced present.
+fn labels(bits: &[bool]) -> Vec<bool> {
+    let mut y = bits.to_vec();
+    y[0] = true;
+    y[1] = false;
+    y
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|p| p.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn decision_tree_binned_equals_exact(
+        cells in prop::collection::vec(0usize..7, 3 * 24..3 * 72),
+        raw_labels in prop::collection::vec(any::<bool>(), 72),
+        seed in 0u64..1000,
+    ) {
+        let n_cols = 3;
+        let x = int_matrix(&cells[..cells.len() / n_cols * n_cols], n_cols, 7);
+        let y = labels(&raw_labels[..x.n_rows()]);
+
+        let exact_params = TreeParams { max_bins: 0, ..TreeParams::default() };
+        let binned_params = TreeParams::default(); // max_bins = 256
+        let mut exact = DecisionTree::new(exact_params).with_seed(seed);
+        let mut binned = DecisionTree::new(binned_params).with_seed(seed);
+        exact.fit(&x, &y).expect("exact fit");
+        binned.fit(&x, &y).expect("binned fit");
+
+        prop_assert_eq!(exact.n_nodes(), binned.n_nodes());
+        prop_assert_eq!(exact.depth(), binned.depth());
+        prop_assert_eq!(
+            bits(exact.feature_importances()),
+            bits(binned.feature_importances())
+        );
+        prop_assert_eq!(
+            bits(&exact.predict_proba(&x).expect("exact proba")),
+            bits(&binned.predict_proba(&x).expect("binned proba"))
+        );
+    }
+
+    #[test]
+    fn decision_tree_parity_with_feature_subsampling(
+        cells in prop::collection::vec(0usize..5, 4 * 20..4 * 50),
+        raw_labels in prop::collection::vec(any::<bool>(), 50),
+        seed in 0u64..1000,
+    ) {
+        // Sqrt feature subsampling consumes the RNG per node; parity
+        // requires the binned path to draw identically.
+        let n_cols = 4;
+        let x = int_matrix(&cells[..cells.len() / n_cols * n_cols], n_cols, 5);
+        let y = labels(&raw_labels[..x.n_rows()]);
+
+        let base = TreeParams {
+            max_features: MaxFeatures::Sqrt,
+            ..TreeParams::default()
+        };
+        let mut exact = DecisionTree::new(TreeParams { max_bins: 0, ..base }).with_seed(seed);
+        let mut binned = DecisionTree::new(base).with_seed(seed);
+        exact.fit(&x, &y).expect("exact fit");
+        binned.fit(&x, &y).expect("binned fit");
+
+        prop_assert_eq!(exact.n_nodes(), binned.n_nodes());
+        prop_assert_eq!(
+            bits(&exact.predict_proba(&x).expect("exact proba")),
+            bits(&binned.predict_proba(&x).expect("binned proba"))
+        );
+    }
+
+    #[test]
+    fn random_forest_binned_equals_exact(
+        cells in prop::collection::vec(0usize..2, 3 * 30..3 * 60),
+        raw_labels in prop::collection::vec(any::<bool>(), 60),
+        seed in 0u64..1000,
+    ) {
+        // Binary features: the only possible edge is 0.5 on both paths,
+        // so parity is bit-exact even under bootstrap sampling. (With a
+        // wider alphabet a value *absent from a tree's bootstrap* may
+        // fall between exact's midpoint threshold and binned's edge
+        // threshold and route differently at prediction time — both
+        // trees are equally valid on the data they saw.)
+        let n_cols = 3;
+        let x = int_matrix(&cells[..cells.len() / n_cols * n_cols], n_cols, 2);
+        let y = labels(&raw_labels[..x.n_rows()]);
+
+        let mut exact = RandomForest::new(8, 6).with_seed(seed).with_max_bins(0);
+        let mut binned = RandomForest::new(8, 6).with_seed(seed);
+        exact.fit(&x, &y).expect("exact fit");
+        binned.fit(&x, &y).expect("binned fit");
+
+        prop_assert_eq!(
+            bits(&exact.feature_importances()),
+            bits(&binned.feature_importances())
+        );
+        prop_assert_eq!(
+            bits(&exact.predict_proba(&x).expect("exact proba")),
+            bits(&binned.predict_proba(&x).expect("binned proba"))
+        );
+    }
+
+    #[test]
+    fn gbdt_binned_close_to_exact(
+        cells in prop::collection::vec(0usize..6, 2 * 40..2 * 70),
+        seed in 0u64..1000,
+    ) {
+        // GBDT gradients are not integers: the two paths accumulate the
+        // same gradients in different orders, so gains differ in their
+        // last bits and an occasional tie flips — the trees are not
+        // bit-identical by design. The parity claim is macroscopic:
+        // both learn the same separable rule equally well. (The repro
+        // e2e test pins the ±0.5pp TPR/FPR version of this.)
+        let n_cols = 2;
+        let x = int_matrix(&cells[..cells.len() / n_cols * n_cols], n_cols, 6);
+        let y: Vec<bool> = (0..x.n_rows())
+            .map(|i| x.get(i, 0) + x.get(i, 1) >= 5.0)
+            .collect();
+        let n_pos = y.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos >= 2 && n_pos + 2 <= y.len());
+
+        let mut exact = Gbdt::new(20, 0.2, 3).with_seed(seed).with_max_bins(0);
+        let mut binned = Gbdt::new(20, 0.2, 3).with_seed(seed);
+        exact.fit(&x, &y).expect("exact fit");
+        binned.fit(&x, &y).expect("binned fit");
+
+        let pe = exact.predict_proba(&x).expect("exact proba");
+        let pb = binned.predict_proba(&x).expect("binned proba");
+        let auc_e = mfpa_ml::metrics::auc(&y, &pe);
+        let auc_b = mfpa_ml::metrics::auc(&y, &pb);
+        prop_assert!(auc_e > 0.99, "exact auc {auc_e}");
+        prop_assert!(auc_b > 0.99, "binned auc {auc_b}");
+        let mean_abs_diff: f64 =
+            pe.iter().zip(&pb).map(|(a, b)| (a - b).abs()).sum::<f64>() / pe.len() as f64;
+        prop_assert!(mean_abs_diff < 0.02, "mean |Δp| = {mean_abs_diff}");
+    }
+}

@@ -6,9 +6,14 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy (workspace, warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (workspace, warnings + perf lints are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 
+echo "== criterion smoke: histogram vs exact split search (1 sample) =="
+MFPA_BENCH_SAMPLES=1 cargo bench -p mfpa-bench --bench models -- hist
+
+# The workspace runs below include the exact<->binned parity proptests
+# (crates/ml/tests/binned_parity.rs) at both worker counts.
 echo "== cargo test (workspace, MFPA_THREADS=1) =="
 MFPA_THREADS=1 cargo test -q --workspace
 

@@ -1,0 +1,94 @@
+//! End-to-end exact↔binned tolerance: the default histogram path must
+//! reproduce the exact path's headline numbers on the standard seed
+//! fleet. Bit parity is not expected here — GBDT gradients are floats,
+//! so the two paths accumulate split gains in different orders and the
+//! fitted ensembles differ — but the *reproduction results* (TPR, FPR,
+//! AUC at both sample and drive granularity) must agree within ±0.5pp.
+
+use std::sync::OnceLock;
+
+use mfpa_core::{Algorithm, EvalReport, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_fleetsim::{FleetConfig, SimulatedFleet};
+
+fn fleet() -> &'static SimulatedFleet {
+    static FLEET: OnceLock<SimulatedFleet> = OnceLock::new();
+    FLEET.get_or_init(|| SimulatedFleet::generate(&FleetConfig::tiny(31)))
+}
+
+/// ±0.5 percentage points on the dense sample-level metrics.
+const SAMPLE_TOLERANCE: f64 = 0.005;
+/// Drive-level rates on the tiny fleet are quantized at one drive
+/// ≈ 0.27pp, so a 2–3 drive disagreement between two legitimately
+/// different ensembles is within noise; allow ±1pp there.
+const DRIVE_TOLERANCE: f64 = 0.01;
+
+fn assert_reports_close(binned: &EvalReport, exact: &EvalReport, algo: Algorithm) {
+    let close = |name: &str, a: f64, b: f64, tol: f64| {
+        assert!(
+            (a - b).abs() <= tol,
+            "{algo} {name}: binned {a} vs exact {b} (|Δ| > {tol})"
+        );
+    };
+    close(
+        "sample TPR",
+        binned.sample.tpr(),
+        exact.sample.tpr(),
+        SAMPLE_TOLERANCE,
+    );
+    close(
+        "sample FPR",
+        binned.sample.fpr(),
+        exact.sample.fpr(),
+        SAMPLE_TOLERANCE,
+    );
+    close(
+        "sample AUC",
+        binned.sample.auc,
+        exact.sample.auc,
+        SAMPLE_TOLERANCE,
+    );
+    close(
+        "drive TPR",
+        binned.drive.tpr(),
+        exact.drive.tpr(),
+        DRIVE_TOLERANCE,
+    );
+    close(
+        "drive FPR",
+        binned.drive.fpr(),
+        exact.drive.fpr(),
+        DRIVE_TOLERANCE,
+    );
+    close(
+        "drive AUC",
+        binned.drive.auc,
+        exact.drive.auc,
+        DRIVE_TOLERANCE,
+    );
+}
+
+#[test]
+fn gbdt_binned_matches_exact_within_half_a_point() {
+    let run = |max_bins: usize| {
+        Mfpa::new(MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::Gbdt).with_max_bins(max_bins))
+            .run(fleet())
+            .expect("gbdt run")
+    };
+    let binned = run(256); // the default
+    let exact = run(0);
+    assert_reports_close(&binned, &exact, Algorithm::Gbdt);
+}
+
+#[test]
+fn random_forest_binned_matches_exact_within_half_a_point() {
+    let run = |max_bins: usize| {
+        Mfpa::new(
+            MfpaConfig::new(FeatureGroup::Sfwb, Algorithm::RandomForest).with_max_bins(max_bins),
+        )
+        .run(fleet())
+        .expect("rf run")
+    };
+    let binned = run(256);
+    let exact = run(0);
+    assert_reports_close(&binned, &exact, Algorithm::RandomForest);
+}

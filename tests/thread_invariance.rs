@@ -11,7 +11,10 @@
 
 use mfpa_core::deploy::score_fleet;
 use mfpa_core::{Algorithm, EvalReport, FeatureGroup, Mfpa, MfpaConfig};
+use mfpa_dataset::Matrix;
 use mfpa_fleetsim::{FaultConfig, FleetConfig, SimulatedDrive, SimulatedFleet};
+use mfpa_ml::{BinnedMatrix, Classifier, Gbdt, RandomForest};
+use mfpa_par::Workers;
 
 const WIDTHS: [usize; 3] = [1, 2, 7];
 
@@ -125,6 +128,81 @@ fn pipeline_report_is_thread_count_invariant() {
     );
     for &n in &WIDTHS[1..] {
         assert_reports_identical(&run(n), &reference, n);
+    }
+}
+
+/// A deterministic feature matrix with telemetry-shaped pathologies:
+/// heavy-mass repeated values (gap-filled counters), NaN holes, and a
+/// constant column — the inputs quantile binning has to survive.
+fn binning_fixture() -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..240)
+        .map(|i| {
+            let i = i as f64;
+            vec![
+                // Counter that mostly sits still, with occasional jumps.
+                if (i as usize).is_multiple_of(7) {
+                    i * 3.0
+                } else {
+                    42.0
+                },
+                // Smooth analog channel with NaN dropouts.
+                if (i as usize).is_multiple_of(11) {
+                    f64::NAN
+                } else {
+                    (i * 0.37).sin() * 100.0
+                },
+                // Constant column: zero edges, single bin.
+                5.0,
+                // Dense distinct values.
+                i.mul_add(1.5, (i * 0.11).cos()),
+            ]
+        })
+        .collect();
+    Matrix::from_rows(&rows).expect("fixture rows")
+}
+
+#[test]
+fn binned_matrix_build_is_thread_count_invariant() {
+    let x = binning_fixture();
+    let reference = BinnedMatrix::build(&x, 16, Workers::new(WIDTHS[0]));
+    assert!(
+        (0..reference.n_cols()).any(|f| reference.n_bins(f) > 2),
+        "fixture should produce non-trivial histograms"
+    );
+    for &n in &WIDTHS[1..] {
+        let binned = BinnedMatrix::build(&x, 16, Workers::new(n));
+        assert_eq!(binned, reference, "n_threads = {n}");
+    }
+}
+
+/// The binned ensemble fits (the default path since `max_bins` > 0)
+/// must stay bit-identical at any worker count: quantization is
+/// per-column independent and tree fits go through `ordered_map`.
+#[test]
+fn binned_ensemble_fit_is_thread_count_invariant() {
+    let x = binning_fixture();
+    let y: Vec<bool> = (0..x.n_rows()).map(|i| i % 5 == 0 || i % 7 == 3).collect();
+    let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<u64>>();
+
+    let rf = |n: usize| {
+        let mut m = RandomForest::new(12, 8).with_seed(13).with_threads(n);
+        m.fit(&x, &y).expect("rf fit");
+        m.predict_proba(&x).expect("rf proba")
+    };
+    let gbdt = |n: usize| {
+        let mut m = Gbdt::new(12, 0.2, 3)
+            .with_subsample(0.8)
+            .with_seed(13)
+            .with_threads(n);
+        m.fit(&x, &y).expect("gbdt fit");
+        m.predict_proba(&x).expect("gbdt proba")
+    };
+
+    let rf_ref = bits(&rf(WIDTHS[0]));
+    let gbdt_ref = bits(&gbdt(WIDTHS[0]));
+    for &n in &WIDTHS[1..] {
+        assert_eq!(bits(&rf(n)), rf_ref, "rf n_threads = {n}");
+        assert_eq!(bits(&gbdt(n)), gbdt_ref, "gbdt n_threads = {n}");
     }
 }
 

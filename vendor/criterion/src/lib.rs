@@ -11,24 +11,50 @@ use std::time::Instant;
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    /// Positional CLI filters: a benchmark runs only when its
+    /// `group/id` path contains at least one of them (empty = run all).
+    filters: Vec<String>,
+    /// `MFPA_BENCH_SAMPLES` override of every group's sample size
+    /// (CI smoke runs set it to 1).
+    sample_override: Option<usize>,
 }
 
 impl Criterion {
+    /// Builds a driver configured from the process environment, the way
+    /// `criterion_group!` invokes it: positional arguments become
+    /// substring filters (`cargo bench -- hist`) and the
+    /// `MFPA_BENCH_SAMPLES` variable caps the per-benchmark sample
+    /// count.
+    pub fn from_args() -> Self {
+        Criterion {
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
+            sample_override: std::env::var("MFPA_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        eprintln!("group {name}");
+        let name = name.to_owned();
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
+            name,
             sample_size: 10,
+            announced: false,
         }
     }
 }
 
 /// A named group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
+    announced: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -43,6 +69,20 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        let path = format!("{}/{id}", self.name);
+        let filters = &self.criterion.filters;
+        if !filters.is_empty() && !filters.iter().any(|needle| path.contains(needle.as_str())) {
+            return self;
+        }
+        if !self.announced {
+            eprintln!("group {}", self.name);
+            self.announced = true;
+        }
+        let samples = self
+            .criterion
+            .sample_override
+            .unwrap_or(self.sample_size)
+            .max(1);
         let mut b = Bencher {
             total_nanos: 0,
             iters: 0,
@@ -51,7 +91,7 @@ impl BenchmarkGroup<'_> {
         f(&mut b);
         b.total_nanos = 0;
         b.iters = 0;
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             f(&mut b);
         }
         let mean = b.total_nanos.checked_div(b.iters).unwrap_or(0);
@@ -89,7 +129,7 @@ pub use std::hint::black_box;
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_args();
             $( $target(&mut criterion); )+
         }
     };
@@ -125,5 +165,32 @@ mod tests {
         group.finish();
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filters_and_sample_override_apply() {
+        let mut c = Criterion {
+            filters: vec!["hist".to_owned()],
+            sample_override: Some(1),
+        };
+        let mut group = c.benchmark_group("hist");
+        let mut runs = 0u32;
+        group
+            .sample_size(5)
+            .bench_function("binned", |b| b.iter(|| runs += 1));
+        group.finish();
+        // Matches the "hist" filter; 1 warm-up + 1 overridden sample.
+        assert_eq!(runs, 2);
+
+        let mut c = Criterion {
+            filters: vec!["hist".to_owned()],
+            sample_override: None,
+        };
+        let mut group = c.benchmark_group("fit");
+        let mut skipped = 0u32;
+        group.bench_function("binned", |b| b.iter(|| skipped += 1));
+        group.finish();
+        // "fit/binned" does not contain "hist": never run.
+        assert_eq!(skipped, 0);
     }
 }

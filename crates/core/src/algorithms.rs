@@ -114,6 +114,7 @@ impl Algorithm {
                 }
                 Box::new(
                     ThresholdDetector::new(features.len(), rules)
+                        // mfpa-lint: allow(d5, "rule columns are positions in the feature list just built")
                         .expect("rule columns come from the feature list"),
                 )
             }

@@ -8,7 +8,7 @@
 //! and pre-failure features look healthy (FPR up), too low and faulty
 //! drives have no data near the label (TPR down).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mfpa_telemetry::{SerialNumber, TroubleTicket};
 use serde::{Deserialize, Serialize};
@@ -52,17 +52,19 @@ pub fn identify_failure_day(
 
 /// Labels every ticketed drive in a collection of series.
 ///
-/// Returns `serial → failure day`. Drives without a usable label are
+/// Returns `serial → failure day` as an ordered map (iteration must
+/// stay deterministic wherever it feeds output). Drives without a
+/// usable label are
 /// omitted (the paper's "many faulty disks have no data around
 /// IMT − θ" case).
 pub fn label_failures(
     series: &[CleanSeries],
     tickets: &[TroubleTicket],
     config: &LabelingConfig,
-) -> HashMap<SerialNumber, i64> {
-    let by_serial: HashMap<SerialNumber, &CleanSeries> =
+) -> BTreeMap<SerialNumber, i64> {
+    let by_serial: BTreeMap<SerialNumber, &CleanSeries> =
         series.iter().map(|s| (s.serial, s)).collect();
-    let mut labels = HashMap::new();
+    let mut labels = BTreeMap::new();
     for ticket in tickets {
         if let Some(s) = by_serial.get(&ticket.serial()) {
             if let Some(day) = identify_failure_day(s, ticket, config) {

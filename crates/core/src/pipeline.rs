@@ -1,7 +1,8 @@
 //! The end-to-end MFPA pipeline: preprocess → label → sample → split →
 //! balance → train → evaluate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+// mfpa-lint: allow(d3, "stage timing metadata only; never feeds features, labels, or scores")
 use std::time::Instant;
 
 use mfpa_dataset::{split, Matrix, RandomUnderSampler};
@@ -213,7 +214,7 @@ impl MfpaConfig {
 #[derive(Debug)]
 pub struct Prepared {
     samples: SampleSet,
-    failure_days: HashMap<SerialNumber, i64>,
+    failure_days: BTreeMap<SerialNumber, i64>,
     sanitize_report: SanitizeReport,
     n_raw_records: usize,
     n_series: usize,
@@ -230,7 +231,7 @@ impl Prepared {
     }
 
     /// θ-identified failure day per ticketed drive.
-    pub fn failure_days(&self) -> &HashMap<SerialNumber, i64> {
+    pub fn failure_days(&self) -> &BTreeMap<SerialNumber, i64> {
         &self.failure_days
     }
 
@@ -327,6 +328,7 @@ impl Mfpa {
             let history = match &self.config.sanitize {
                 Some(cfg) => {
                     out.n_raw = drive.raw_records().len();
+                    // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
                     let ts = Instant::now();
                     let (h, report) = sanitize(
                         drive.serial(),
@@ -344,6 +346,7 @@ impl Mfpa {
                     drive.history()
                 }
             };
+            // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
             let tp = Instant::now();
             out.series = preprocess(history, drive.firmware(), &self.config.preprocess);
             out.preprocess_secs = tp.elapsed().as_secs_f64();
@@ -370,10 +373,12 @@ impl Mfpa {
             return Err(CoreError::NoUsableDrives);
         }
 
+        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t1 = Instant::now();
         let failure_days = label_failures(&series, fleet.tickets(), &self.config.labeling);
         let labeling_secs = t1.elapsed().as_secs_f64();
 
+        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t2 = Instant::now();
         let samples = crate::windows::build_samples_for(
             &series,
@@ -451,6 +456,7 @@ impl Mfpa {
             &features,
             self.config.max_bins,
         );
+        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t0 = Instant::now();
         model.fit(sub.matrix(), &y).map_err(|e| match e {
             mfpa_ml::MlError::SingleClass => {
@@ -588,6 +594,7 @@ impl TrainedMfpa {
         rows: &[usize],
         name: &str,
     ) -> Result<EvalReport, CoreError> {
+        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t0 = Instant::now();
         let probs = self.predict_rows(prepared, rows)?;
         let predict_secs = t0.elapsed().as_secs_f64();
@@ -603,7 +610,7 @@ impl TrainedMfpa {
         // Drive-level aggregation: a drive is flagged when any of its
         // test rows crosses the threshold; it is truly faulty when any of
         // its test rows is a positive sample.
-        let mut per_drive: HashMap<u64, (bool, f64)> = HashMap::new();
+        let mut per_drive: BTreeMap<u64, (bool, f64)> = BTreeMap::new();
         for ((&row, &label), &p) in rows.iter().zip(&labels).zip(&probs) {
             let group = frame.meta()[row].group;
             let entry = per_drive.entry(group).or_insert((false, 0.0));

@@ -8,7 +8,7 @@
 //! model asked to alarm N days in advance only sees data at least N days
 //! old relative to the failure.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mfpa_dataset::{DatasetError, FeatureFrame, SampleMeta};
 use mfpa_telemetry::SerialNumber;
@@ -73,7 +73,7 @@ pub fn group_of(serial: SerialNumber) -> u64 {
 /// so callers can `?` it.
 pub fn build_samples(
     series: &[CleanSeries],
-    failure_days: &HashMap<SerialNumber, i64>,
+    failure_days: &BTreeMap<SerialNumber, i64>,
     config: &WindowConfig,
 ) -> Result<SampleSet, DatasetError> {
     build_samples_for(series, failure_days, config, true)
@@ -88,7 +88,7 @@ pub fn build_samples(
 /// Same as [`build_samples`].
 pub fn build_samples_for(
     series: &[CleanSeries],
-    failure_days: &HashMap<SerialNumber, i64>,
+    failure_days: &BTreeMap<SerialNumber, i64>,
     config: &WindowConfig,
     build_seq: bool,
 ) -> Result<SampleSet, DatasetError> {
@@ -173,8 +173,8 @@ mod tests {
         }
     }
 
-    fn labels(id: u64, day: i64) -> HashMap<SerialNumber, i64> {
-        let mut m = HashMap::new();
+    fn labels(id: u64, day: i64) -> BTreeMap<SerialNumber, i64> {
+        let mut m = BTreeMap::new();
         m.insert(SerialNumber::new(Vendor::I, id), day);
         m
     }
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn healthy_rows_all_negative() {
         let s = series(2, &[0, 1, 2, 3]);
-        let set = build_samples(&[s], &HashMap::new(), &WindowConfig::default()).unwrap();
+        let set = build_samples(&[s], &BTreeMap::new(), &WindowConfig::default()).unwrap();
         assert_eq!(set.flat.n_rows(), 4);
         assert_eq!(set.flat.n_positive(), 0);
     }
@@ -226,7 +226,7 @@ mod tests {
             lookahead: 0,
             seq_len: 3,
         };
-        let set = build_samples(&[s], &HashMap::new(), &cfg).unwrap();
+        let set = build_samples(&[s], &BTreeMap::new(), &cfg).unwrap();
         assert_eq!(set.seq.n_rows(), set.flat.n_rows());
         assert_eq!(set.seq.n_cols(), 3 * 45);
         // First row: all three steps padded with day-10's row.

@@ -109,6 +109,7 @@ impl Bathtub {
 /// assert!(firmware_multiplier(1, 5, 1.7) > firmware_multiplier(2, 5, 1.7));
 /// ```
 pub fn firmware_multiplier(seq: u32, count: u32, per_release: f64) -> f64 {
+    // mfpa-lint: allow(d6, "firmware release counts are single digits; i32 cannot truncate them")
     per_release.powi(count.saturating_sub(seq) as i32)
 }
 
@@ -144,6 +145,7 @@ pub const FIRMWARE_UPDATE_PROB: f64 = 0.15;
 pub fn sample_firmware_seq(age0: f64, max_age0: f64, count: u32, rng: &mut StdRng) -> u32 {
     // Era 1 = oldest cohort (largest age0).
     let frac = 1.0 - (age0 / max_age0).clamp(0.0, 1.0);
+    // mfpa-lint: allow(d6, "era is clamped to [1, count] with count a small firmware release total")
     let era = ((frac * count as f64).floor() as u32 + 1).min(count);
     if rng.random_range(0.0..1.0) < FIRMWARE_UPDATE_PROB {
         (era + 1).min(count)

@@ -1,0 +1,365 @@
+//! A minimal line/comment/string-aware Rust tokenizer.
+//!
+//! The build environment has no crates.io, so `syn` is off the table;
+//! the rule catalog only needs identifier sequences with line numbers,
+//! which a hand-rolled lexer provides. The lexer never fails: any byte
+//! sequence produces a token stream (unterminated strings and comments
+//! are closed at end of input), which is what the "tokenizer never
+//! panics on arbitrary input" property test locks down.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Token payloads. Comments are kept (the suppression parser reads
+/// them); string/char literals are kept opaquely so identifier rules
+/// can never match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, ...).
+    Ident(String),
+    /// Integer/float literal text (value is irrelevant to the rules).
+    Number(String),
+    /// `"..."`, `r#"..."#`, `b"..."` or char/byte-char literal.
+    Literal,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// `// ...` or `/* ... */` comment, full text including markers.
+    Comment {
+        /// Raw comment text.
+        text: String,
+        /// Whether any non-comment token precedes it on its line.
+        trailing: bool,
+    },
+    /// Any other single character (`{`, `.`, `!`, `:`, ...).
+    Punct(char),
+}
+
+/// Tokenizes Rust-ish source. Total: consumes every byte, never panics.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+        line_has_code: false,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+    line_has_code: bool,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        if !matches!(kind, TokenKind::Comment { .. }) {
+            self.line_has_code = true;
+        }
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line);
+                }
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                '\'' => self.quote(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string:
+    /// zero or more `#` then `"`.
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut k = from;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let trailing = self.line_has_code;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.push(Token {
+            kind: TokenKind::Comment { text, trailing },
+            line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let trailing = self.line_has_code;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Comment { text, trailing },
+            line,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    /// `'` starts either a char literal or a lifetime; disambiguate the
+    /// way rustc does: `'x'` (or an escape) is a char, `'ident` not
+    /// followed by a closing quote is a lifetime.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escaped char
+                             // consume up to the closing quote (\u{...} etc.)
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' || c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Literal, line);
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Literal, line);
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, line);
+                }
+            }
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Literal, line);
+            }
+            None => self.push(TokenKind::Literal, line),
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(text), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for rule matching: glue digits, `_`, `.`, hex
+            // letters and exponent signs into one opaque number token.
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number(text), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, u32)> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some((s, t.line)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_carry_line_numbers() {
+        let got = idents("let a = 1;\nlet bb = a;\n");
+        assert_eq!(
+            got,
+            vec![
+                ("let".into(), 1),
+                ("a".into(), 1),
+                ("let".into(), 2),
+                ("bb".into(), 2),
+                ("a".into(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let got = idents("let s = \"HashMap::unwrap()\";");
+        assert_eq!(got, vec![("let".into(), 1), ("s".into(), 1)]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let got = idents("let s = r##\"unwrap \" inner\"##; after");
+        assert_eq!(
+            got,
+            vec![("let".into(), 1), ("s".into(), 1), ("after".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn comments_are_kept_with_trailing_flag() {
+        let toks = tokenize("x(); // tail\n// alone\n");
+        let comments: Vec<(bool, u32)> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Comment { trailing, .. } => Some((*trailing, t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments, vec![(true, 1), (false, 2)]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = idents("/* a /* b */ still comment */ code");
+        assert_eq!(got, vec![("code".into(), 1)]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn unterminated_input_is_fine() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'a", "b\"x", "'\\"] {
+            let _ = tokenize(src); // must not panic
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! `mfpa-lint` — a registry-access-free static-analysis pass that
+//! enforces the workspace determinism-and-robustness contract
+//! (DESIGN.md §6/§8) at the source level, before any test runs.
+//!
+//! The tool walks every library `.rs` file in the workspace
+//! (`crates/*/src/**`, plus the root package's `src/**`), tokenizes it
+//! with a small hand-rolled lexer (no `syn` — the build environment has
+//! no crates.io), and applies the [`rules::RULES`] catalog. Violations
+//! can be suppressed inline with a mandatory justification:
+//!
+//! ```text
+//! let t = Instant::now(); // mfpa-lint: allow(d3, "timing metadata only")
+//! ```
+//!
+//! A standalone suppression comment covers the next line; adjacent
+//! standalone suppressions stack. Suppressions without a reason,
+//! with an unknown rule id, or that match nothing are themselves
+//! violations — suppression creep must stay visible.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use rules::{RawFinding, Suppression};
+
+/// One lint finding, suppressed or not.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Finding {
+    /// Catalog rule id (`d1`..`d6`), or `lint` for meta findings.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was matched.
+    pub message: String,
+    /// The suppression reason when an `allow` covers this finding.
+    pub suppressed: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        if let Some(reason) = &self.suppressed {
+            write!(f, " (allowed: {reason})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tool-level failure (I/O, bad root), distinct from lint findings.
+#[derive(Debug)]
+pub struct LintError(String);
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Aggregated result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every finding, suppressed and unsuppressed, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub n_files: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by an `allow`.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Findings covered by an `allow`.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_some())
+    }
+
+    /// Whether the workspace is clean (CI gate).
+    pub fn is_clean(&self) -> bool {
+        self.unsuppressed().next().is_none()
+    }
+
+    /// Human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.unsuppressed() {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        let n_bad = self.unsuppressed().count();
+        let n_allowed = self.suppressed().count();
+        out.push_str(&format!(
+            "mfpa-lint: {} file(s) scanned, {} rule(s), {} violation(s), {} allowed\n",
+            self.n_files,
+            rules::RULES.len(),
+            n_bad,
+            n_allowed,
+        ));
+        out
+    }
+
+    /// Machine-readable report (`--format json`).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "files_scanned": self.n_files,
+            "violations": self.unsuppressed().count(),
+            "allowed": self.suppressed().count(),
+            "findings": self.findings,
+        })
+    }
+
+    /// The committed `results/lint_report.json` snapshot: per rule, the
+    /// number of suppressions and their reasons, so suppression creep
+    /// shows up in diffs.
+    pub fn snapshot_json(&self) -> serde_json::Value {
+        let mut per_rule: BTreeMap<&str, (usize, Vec<String>)> = BTreeMap::new();
+        for r in rules::RULES {
+            per_rule.insert(r.id, (0, Vec::new()));
+        }
+        for f in self.suppressed() {
+            let entry = per_rule.entry(f.rule.as_str()).or_default();
+            entry.0 += 1;
+            if let Some(reason) = &f.suppressed {
+                entry.1.push(format!("{}:{}: {}", f.file, f.line, reason));
+            }
+        }
+        let rules_json: Vec<serde_json::Value> = rules::RULES
+            .iter()
+            .map(|r| {
+                let (n, reasons) = per_rule.get(r.id).cloned().unwrap_or_default();
+                serde_json::json!({
+                    "rule": r.id,
+                    "name": r.name,
+                    "allows": n,
+                    "reasons": reasons,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "files_scanned": self.n_files,
+            "violations": self.unsuppressed().count(),
+            "rules": rules_json,
+        })
+    }
+}
+
+/// Renders a JSON value with two-space indentation (the vendored
+/// serde_json only prints compact) so the committed snapshot diffs
+/// line-by-line.
+pub fn pretty_json(value: &serde_json::Value) -> String {
+    let mut out = String::new();
+    render(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn render(value: &serde_json::Value, indent: usize, out: &mut String) {
+    use serde_json::Value;
+    let pad = "  ".repeat(indent + 1);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                render(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&serde_json::Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                render(v, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        scalar_or_empty => out.push_str(&scalar_or_empty.to_string()),
+    }
+}
+
+/// Lints one file's source text as belonging to `crate_name` (the
+/// directory name under `crates/`, or `suite` for the root package).
+pub fn lint_source(crate_name: &str, file_label: &str, src: &str) -> Vec<Finding> {
+    let tokens = lexer::tokenize(src);
+    let kept = rules::strip_test_code(&tokens);
+    let (allows, malformed) = rules::extract_suppressions(&kept);
+    let raw = rules::scan_rules(crate_name, &comment_free(&kept));
+
+    let mut used = vec![false; allows.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+    for hit in raw {
+        let reason = match_suppression(&allows, &mut used, &hit);
+        findings.push(Finding {
+            rule: hit.rule.to_owned(),
+            file: file_label.to_owned(),
+            line: hit.line,
+            message: hit.message,
+            suppressed: reason,
+        });
+    }
+    for m in malformed {
+        findings.push(Finding {
+            rule: m.rule.to_owned(),
+            file: file_label.to_owned(),
+            line: m.line,
+            message: m.message,
+            suppressed: None,
+        });
+    }
+    for (allow, used) in allows.iter().zip(&used) {
+        if !used {
+            findings.push(Finding {
+                rule: "lint".to_owned(),
+                file: file_label.to_owned(),
+                line: allow.line,
+                message: format!(
+                    "unused suppression for `{}` (nothing to allow here — remove it)",
+                    allow.rule
+                ),
+                suppressed: None,
+            });
+        }
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    findings
+}
+
+fn comment_free(tokens: &[lexer::Token]) -> Vec<lexer::Token> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, lexer::TokenKind::Comment { .. }))
+        .cloned()
+        .collect()
+}
+
+/// Finds the `allow` covering `hit`, marking it used: a trailing
+/// suppression on the hit's own line, or a standalone suppression on
+/// the line(s) immediately above (standalone allows stack).
+fn match_suppression(
+    allows: &[Suppression],
+    used: &mut [bool],
+    hit: &RawFinding,
+) -> Option<String> {
+    let at = |line: u32, standalone_only: bool| -> Option<usize> {
+        allows.iter().position(|a| {
+            a.line == line && a.rule == hit.rule && (!standalone_only || a.standalone)
+        })
+    };
+    if let Some(ix) = at(hit.line, false) {
+        used[ix] = true;
+        return Some(allows[ix].reason.clone());
+    }
+    // Walk upward through a contiguous block of standalone allows.
+    let mut line = hit.line;
+    while line > 1 {
+        line -= 1;
+        let any_standalone_here = allows.iter().any(|a| a.line == line && a.standalone);
+        if !any_standalone_here {
+            break;
+        }
+        if let Some(ix) = at(line, true) {
+            used[ix] = true;
+            return Some(allows[ix].reason.clone());
+        }
+    }
+    None
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Lints every library source file under the workspace root: each
+/// `crates/<name>/src/**/*.rs` plus the root package's `src/**/*.rs`.
+/// `tests/`, `benches/`, `examples/`, `vendor/` and `target/` are out
+/// of scope — the contract governs shipping code.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on I/O failures (unreadable directories or
+/// files), never on lint findings.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let mut report = LintReport::default();
+    let mut units: Vec<(String, PathBuf)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| LintError(format!("read {}: {e}", crates_dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError(format!("read crates/: {e}")))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                units.push((name, src));
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        units.push(("suite".to_owned(), root_src));
+    }
+    units.sort();
+
+    for (crate_name, src_dir) in units {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| LintError(format!("read {}: {e}", path.display())))?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report
+                .findings
+                .extend(lint_source(&crate_name, &label, &text));
+            report.n_files += 1;
+        }
+    }
+    report.findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| LintError(format!("read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError(format!("read {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_allow_covers_its_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // mfpa-lint: allow(d5, \"test invariant\")\n}\n";
+        let findings = lint_source("core", "f.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].suppressed.as_deref(), Some("test invariant"));
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line_and_stacks() {
+        let src = "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 {\n    // mfpa-lint: allow(d2, \"lookup only\")\n    // mfpa-lint: allow(d5, \"checked above\")\n    HashMap::<u32, u32>::new().get(&0).copied().unwrap()\n}\n";
+        // Line 1's HashMap is unsuppressed; line 5's HashMap + unwrap
+        // are covered by the stacked standalone allows.
+        let findings = lint_source("core", "f.rs", src);
+        let bad: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+        assert_eq!(bad.len(), 1, "{findings:?}");
+        assert_eq!(bad[0].line, 1);
+        assert_eq!(
+            findings.iter().filter(|f| f.suppressed.is_some()).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_violation() {
+        let src = "// mfpa-lint: allow(d5)\nfn f() {}\n";
+        let findings = lint_source("core", "f.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "lint");
+        assert!(findings[0].message.contains("reason"), "{findings:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_a_violation() {
+        let src = "fn f() {} // mfpa-lint: allow(d5, \"nothing here\")\n";
+        let findings = lint_source("core", "f.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "lint");
+        assert!(findings[0].message.contains("unused"), "{findings:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(lint_source("core", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let findings = lint_source("core", "f.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "d5");
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_silent() {
+        // bench may panic and take wall-clock time freely.
+        let src = "fn f(x: Option<u32>) -> u32 { let _t = Instant::now(); x.unwrap() }\n";
+        assert!(lint_source("bench", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_root_is_found() {
+        let here = std::env::current_dir().expect("cwd exists");
+        let root = find_workspace_root(&here).expect("inside the workspace");
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,450 @@
+//! The DESIGN §6 / §8 rule catalog and the token-stream scanner.
+//!
+//! Each rule is a purely lexical pattern over the comment-stripped
+//! token stream of one library source file. The scanner is test-aware:
+//! `#[cfg(test)]` items and `#[test]` functions are excised before any
+//! rule runs, because the contract governs *shipping* code — tests may
+//! unwrap and time things freely.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A catalog entry: stable id, human name, and the contract clause the
+/// rule enforces (mirrored in DESIGN.md §8).
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id used in findings and `allow(...)` suppressions.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// What the rule forbids.
+    pub summary: &'static str,
+    /// Crates the rule applies to (crate dir names; `suite` is the
+    /// workspace root package).
+    pub scope: &'static [&'static str],
+}
+
+const LIB_CRATES: &[&str] = &[
+    "telemetry",
+    "fleetsim",
+    "dataset",
+    "ml",
+    "core",
+    "par",
+    "lint",
+    "suite",
+];
+const DETERMINISTIC: &[&str] = &["telemetry", "fleetsim", "dataset", "ml", "core", "par"];
+const ORDERED_OUTPUT: &[&str] = &["fleetsim", "core", "ml", "dataset"];
+const EVERYWHERE: &[&str] = &[
+    "telemetry",
+    "fleetsim",
+    "dataset",
+    "ml",
+    "core",
+    "par",
+    "bench",
+    "lint",
+    "suite",
+];
+const NO_PAR: &[&str] = &[
+    "telemetry",
+    "fleetsim",
+    "dataset",
+    "ml",
+    "core",
+    "bench",
+    "lint",
+    "suite",
+];
+const COUNTER_CRATES: &[&str] = &["telemetry", "fleetsim", "dataset", "ml", "core"];
+
+/// The six contract rules, in catalog order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "d1",
+        name: "thread-outside-par",
+        summary: "thread spawning (`std::thread::spawn`/`scope`, rayon) outside crates/par",
+        scope: NO_PAR,
+    },
+    Rule {
+        id: "d2",
+        name: "unordered-iteration",
+        summary: "`HashMap`/`HashSet` in crates whose iteration order can reach \
+                  ordered or serialized output (use `BTreeMap`/`BTreeSet` or sort)",
+        scope: ORDERED_OUTPUT,
+    },
+    Rule {
+        id: "d3",
+        name: "wall-clock-entropy",
+        summary: "`Instant`/`SystemTime`/entropy sources in deterministic paths",
+        scope: DETERMINISTIC,
+    },
+    Rule {
+        id: "d4",
+        name: "partial-float-order",
+        summary: "`partial_cmp` on floats (NaN-unsafe ordering; use `total_cmp`)",
+        scope: EVERYWHERE,
+    },
+    Rule {
+        id: "d5",
+        name: "panic-in-library",
+        summary: "`unwrap()`/`expect()`/`panic!` in non-test library code \
+                  (return structured errors instead)",
+        scope: LIB_CRATES,
+    },
+    Rule {
+        id: "d6",
+        name: "truncating-cast",
+        summary: "truncating `as` cast to a narrow integer on a counter/timestamp value",
+        scope: COUNTER_CRATES,
+    },
+];
+
+/// Looks up a catalog rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `rule` applies to the crate a file belongs to.
+pub fn in_scope(rule: &Rule, crate_name: &str) -> bool {
+    rule.scope.contains(&crate_name)
+}
+
+/// A rule hit before suppression matching.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Catalog rule id, or `lint` for meta findings (malformed/unused
+    /// suppressions).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the hit.
+    pub message: String,
+}
+
+/// A parsed `// mfpa-lint: allow(rule, "reason")` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Suppressed rule id.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Trailing comments cover their own line; standalone comments
+    /// cover the next line (stacking with adjacent standalone allows).
+    pub standalone: bool,
+}
+
+/// Marker scanned for inside comments.
+pub const SUPPRESS_MARKER: &str = "mfpa-lint:";
+
+/// Removes `#[cfg(test)]` items and `#[test]` functions from the token
+/// stream (comments inside removed items vanish with them).
+pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_attr_start(tokens, i) {
+            let (attr_end, is_test) = read_attr(tokens, i);
+            if is_test {
+                i = skip_item(tokens, attr_end);
+                continue;
+            }
+            out.extend_from_slice(&tokens[i..attr_end]);
+            i = attr_end;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct('#')))
+        && matches!(
+            next_code(tokens, i + 1).map(|j| &tokens[j].kind),
+            Some(TokenKind::Punct('['))
+        )
+}
+
+/// First non-comment token index at or after `i`.
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if !matches!(tokens[i].kind, TokenKind::Comment { .. }) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads an attribute starting at the `#` token; returns the index one
+/// past its closing `]` and whether it gates test-only code.
+fn read_attr(tokens: &[Token], start: usize) -> (usize, bool) {
+    let mut i = start + 1;
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident(s) => idents.push(s),
+            _ => {}
+        }
+        i += 1;
+    }
+    let has = |w: &str| idents.contains(&w);
+    let is_test = (idents.as_slice() == ["test"]) || (has("cfg") && has("test") && !has("not"));
+    (i, is_test)
+}
+
+/// Skips one item following a test attribute: any further attributes,
+/// then either a `{ ... }` body (with matching brace) or a `;`.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    loop {
+        match next_code(tokens, i) {
+            Some(j) if is_attr_start(tokens, j) => {
+                let (end, _) = read_attr(tokens, j);
+                i = end;
+            }
+            _ => break,
+        }
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && matches!(tokens[i].kind, TokenKind::Punct('}')) {
+                    return i + 1;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Extracts suppression comments. Malformed suppressions (unknown
+/// rule, missing or empty reason) become unsuppressible meta findings.
+pub fn extract_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<RawFinding>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for t in tokens {
+        let TokenKind::Comment { text, trailing } = &t.kind else {
+            continue;
+        };
+        // Doc comments never suppress: the marker must sit in a plain
+        // `//` or `/* */` comment, so documentation can *mention* the
+        // syntax without activating it.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        if text.starts_with("/**") || text.starts_with("/*!") {
+            continue;
+        }
+        let Some(pos) = text.find(SUPPRESS_MARKER) else {
+            continue;
+        };
+        let directive = text[pos + SUPPRESS_MARKER.len()..].trim();
+        match parse_allow(directive) {
+            Ok((rule, reason)) => allows.push(Suppression {
+                rule,
+                reason,
+                line: t.line,
+                standalone: !trailing,
+            }),
+            Err(why) => malformed.push(RawFinding {
+                rule: "lint",
+                line: t.line,
+                message: format!("malformed suppression: {why}"),
+            }),
+        }
+    }
+    (allows, malformed)
+}
+
+/// Parses `allow(rule, "reason")`.
+fn parse_allow(directive: &str) -> Result<(String, String), String> {
+    let rest = directive
+        .strip_prefix("allow")
+        .ok_or("expected `allow(rule, \"reason\")`")?
+        .trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or("expected parenthesized `allow(rule, \"reason\")`")?;
+    let (rule, reason_part) = inner
+        .split_once(',')
+        .ok_or("a suppression must carry a reason: `allow(rule, \"reason\")`")?;
+    let rule = rule.trim().to_owned();
+    if rule_by_id(&rule).is_none() {
+        return Err(format!("unknown rule id `{rule}`"));
+    }
+    let reason = reason_part.trim();
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(reason)
+        .trim();
+    if reason.is_empty() {
+        return Err("empty reason".into());
+    }
+    Ok((rule, reason.to_owned()))
+}
+
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+const COUNTER_WORDS: &[&str] = &[
+    "day",
+    "days",
+    "time",
+    "ts",
+    "timestamp",
+    "hour",
+    "hours",
+    "count",
+    "counts",
+    "counter",
+    "counters",
+    "cycle",
+    "cycles",
+    "write",
+    "writes",
+    "read",
+    "reads",
+    "lba",
+    "byte",
+    "bytes",
+    "serial",
+    "seed",
+    "epoch",
+    "record",
+    "records",
+    "poh",
+];
+
+fn is_counterish(ident: &str) -> bool {
+    ident
+        .split('_')
+        .any(|seg| COUNTER_WORDS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// Runs every in-scope catalog rule over a comment-free token stream.
+pub fn scan_rules(crate_name: &str, code: &[Token]) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    let on = |id: &str| rule_by_id(id).is_some_and(|r| in_scope(r, crate_name));
+    let ident = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, c: char| matches!(code.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c);
+
+    for i in 0..code.len() {
+        let line = code[i].line;
+        let Some(word) = ident(i) else {
+            continue;
+        };
+        match word {
+            "rayon" if on("d1") => findings.push(RawFinding {
+                rule: "d1",
+                line,
+                message: "rayon is forbidden; use mfpa_par's deterministic primitives".into(),
+            }),
+            "spawn" | "scope" if on("d1") => {
+                let path_form = i >= 3
+                    && punct(i - 1, ':')
+                    && punct(i - 2, ':')
+                    && ident(i - 3) == Some("thread");
+                let method_form =
+                    word == "spawn" && i >= 1 && punct(i - 1, '.') && punct(i + 1, '(');
+                if path_form || method_form {
+                    findings.push(RawFinding {
+                        rule: "d1",
+                        line,
+                        message: format!(
+                            "thread {word} outside crates/par; route work through \
+                             mfpa_par::ordered_map/map_reduce"
+                        ),
+                    });
+                }
+            }
+            "HashMap" | "HashSet" if on("d2") => findings.push(RawFinding {
+                rule: "d2",
+                line,
+                message: format!(
+                    "{word} in a crate feeding ordered/serialized output; use \
+                     BTreeMap/BTreeSet or sort before iterating"
+                ),
+            }),
+            "Instant" | "SystemTime" if on("d3") => findings.push(RawFinding {
+                rule: "d3",
+                line,
+                message: format!("{word} in a deterministic path"),
+            }),
+            "thread_rng" | "from_entropy" if on("d3") => findings.push(RawFinding {
+                rule: "d3",
+                line,
+                message: format!("entropy source {word} in a deterministic path; seed explicitly"),
+            }),
+            "random" if on("d3") && punct(i + 1, '(') => findings.push(RawFinding {
+                rule: "d3",
+                line,
+                message: "entropy source random() in a deterministic path; seed explicitly".into(),
+            }),
+            "partial_cmp" if on("d4") => findings.push(RawFinding {
+                rule: "d4",
+                line,
+                message: "partial_cmp is NaN-unsafe; use f64::total_cmp (or derive Ord)".into(),
+            }),
+            "unwrap" | "expect" if on("d5") && i >= 1 && punct(i - 1, '.') && punct(i + 1, '(') => {
+                findings.push(RawFinding {
+                    rule: "d5",
+                    line,
+                    message: format!("{word}() in library code; return a structured error instead"),
+                });
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if on("d5") && punct(i + 1, '!') => {
+                findings.push(RawFinding {
+                    rule: "d5",
+                    line,
+                    message: format!("{word}! in library code; return a structured error instead"),
+                });
+            }
+            "as" if on("d6") => {
+                let Some(ty) = ident(i + 1) else { continue };
+                if !NARROW_INTS.contains(&ty) {
+                    continue;
+                }
+                // Heuristic: any counter/timestamp-named identifier
+                // earlier on the same line marks the cast suspicious.
+                let culprit = (0..i)
+                    .rev()
+                    .take_while(|&j| code[j].line == line)
+                    .find_map(|j| ident(j).filter(|s| is_counterish(s)));
+                if let Some(name) = culprit {
+                    findings.push(RawFinding {
+                        rule: "d6",
+                        line,
+                        message: format!(
+                            "truncating cast `as {ty}` near counter/timestamp `{name}`; \
+                             widen or bound-check explicitly"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}

@@ -1,0 +1,8 @@
+// mfpa-lint: allow(d2, "membership probe only; the map is never iterated")
+use std::collections::HashMap;
+
+pub fn seen(days: &[i64]) -> bool {
+    // mfpa-lint: allow(d2, "membership probe only; the map is never iterated")
+    let m: HashMap<i64, ()> = days.iter().map(|&d| (d, ())).collect();
+    m.contains_key(&0)
+}

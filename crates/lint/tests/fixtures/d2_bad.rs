@@ -1,0 +1,3 @@
+pub fn tally(days: &[i64]) -> std::collections::HashMap<i64, usize> {
+    days.iter().map(|&d| (d, 1)).collect()
+}

@@ -1,0 +1,4 @@
+pub fn stamp() -> f64 {
+    let t = std::time::Instant::now(); // mfpa-lint: allow(d3, "diagnostic timing only; result is discarded from outputs")
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,4 @@
+pub fn stamp() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

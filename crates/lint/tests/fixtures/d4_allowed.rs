@@ -1,0 +1,5 @@
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    // mfpa-lint: allow(d4, "inputs are pre-validated finite probabilities")
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs
+}

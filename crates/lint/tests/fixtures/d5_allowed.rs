@@ -1,0 +1,4 @@
+pub fn first(xs: &[u8]) -> u8 {
+    // mfpa-lint: allow(d5, "caller guarantees a non-empty slice via the type's invariant")
+    *xs.first().unwrap()
+}

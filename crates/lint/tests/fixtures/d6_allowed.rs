@@ -1,0 +1,4 @@
+pub fn bucket(write_count: u64) -> u32 {
+    // mfpa-lint: allow(d6, "write_count is clamped below 2^20 upstream")
+    write_count as u32
+}

@@ -1,0 +1,3 @@
+pub fn bucket(write_count: u64) -> u32 {
+    write_count as u32
+}

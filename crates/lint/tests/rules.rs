@@ -1,0 +1,103 @@
+//! One known-bad and one suppressed fixture per catalog rule. The bad
+//! snippet must produce exactly one unsuppressed finding for its rule;
+//! the suppressed twin must produce zero unsuppressed findings while
+//! still recording the allow (so `lint_report.json` counts it).
+
+use mfpa_lint::lint_source;
+
+/// All fixtures are linted as crate `core`, which is in scope for every
+/// rule in the catalog (d1 no-par, d2 ordered-output, d3 deterministic,
+/// d4/d5 everywhere-in-lib, d6 counter crates).
+const CRATE: &str = "core";
+
+fn case(rule: &str, bad: &str, allowed: &str) {
+    let findings = lint_source(CRATE, "bad.rs", bad);
+    let unsuppressed: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert_eq!(
+        unsuppressed.len(),
+        1,
+        "{rule} bad fixture: expected exactly one unsuppressed finding, got {findings:#?}"
+    );
+    assert_eq!(unsuppressed[0].rule, rule, "{rule} bad fixture: wrong rule");
+
+    let findings = lint_source(CRATE, "allowed.rs", allowed);
+    let unsuppressed: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "{rule} allowed fixture: expected no unsuppressed findings, got {unsuppressed:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.suppressed.is_some()),
+        "{rule} allowed fixture: the allow must still be recorded as a suppressed finding"
+    );
+}
+
+#[test]
+fn d1_thread_outside_par() {
+    case(
+        "d1",
+        include_str!("fixtures/d1_bad.rs"),
+        include_str!("fixtures/d1_allowed.rs"),
+    );
+}
+
+#[test]
+fn d2_unordered_iteration() {
+    case(
+        "d2",
+        include_str!("fixtures/d2_bad.rs"),
+        include_str!("fixtures/d2_allowed.rs"),
+    );
+}
+
+#[test]
+fn d3_wall_clock_entropy() {
+    case(
+        "d3",
+        include_str!("fixtures/d3_bad.rs"),
+        include_str!("fixtures/d3_allowed.rs"),
+    );
+}
+
+#[test]
+fn d4_partial_float_order() {
+    case(
+        "d4",
+        include_str!("fixtures/d4_bad.rs"),
+        include_str!("fixtures/d4_allowed.rs"),
+    );
+}
+
+#[test]
+fn d5_panic_in_library() {
+    case(
+        "d5",
+        include_str!("fixtures/d5_bad.rs"),
+        include_str!("fixtures/d5_allowed.rs"),
+    );
+}
+
+#[test]
+fn d6_truncating_cast() {
+    case(
+        "d6",
+        include_str!("fixtures/d6_bad.rs"),
+        include_str!("fixtures/d6_allowed.rs"),
+    );
+}
+
+#[test]
+fn bench_crate_is_exempt_from_panic_and_timing_rules() {
+    let src = include_str!("fixtures/d3_bad.rs");
+    assert!(
+        lint_source("bench", "bad.rs", src).is_empty(),
+        "bench is a CLI harness; timing is allowed there"
+    );
+    let src = include_str!("fixtures/d5_bad.rs");
+    assert!(
+        lint_source("bench", "bad.rs", src).is_empty(),
+        "bench is a CLI harness; unwrap is allowed there"
+    );
+}

@@ -1,0 +1,25 @@
+//! The lexer is total: any byte sequence (lossily decoded) must produce
+//! a token stream without panicking, including unterminated strings,
+//! comments, raw-string hash runs and lone quotes.
+
+use mfpa_lint::lexer::tokenize;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenize_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = tokenize(&src);
+    }
+
+    #[test]
+    fn tokenize_never_panics_on_quote_heavy_input(
+        parts in prop::collection::vec(0usize..8, 0..64),
+    ) {
+        // Bias the input toward the lexer's tricky state machine:
+        // quotes, hashes, escapes and comment markers in random order.
+        const ATOMS: [&str; 8] = ["\"", "'", "#", "r", "b", "\\", "/*", "//"];
+        let src: String = parts.iter().map(|&i| ATOMS[i]).collect();
+        let _ = tokenize(&src);
+    }
+}

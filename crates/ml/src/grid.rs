@@ -202,7 +202,7 @@ where
     let best = trials
         .iter()
         .max_by(|a, b| a.mean_auc.total_cmp(&b.mean_auc))
-        .expect("grid always has at least one candidate");
+        .ok_or_else(|| MlError::InvalidParameter("empty parameter grid".into()))?;
     Ok(GridSearchResult {
         best_params: best.params.clone(),
         best_auc: best.mean_auc,

@@ -129,9 +129,8 @@ impl Classifier for LogisticRegression {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        let fitted = self.fitted.as_ref();
-        check_predict_inputs(x, fitted.map(|f| f.weights.len()))?;
-        let f = fitted.expect("checked above");
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        check_predict_inputs(x, Some(f.weights.len()))?;
         let xs = f.scaler.transform(x)?;
         Ok(xs
             .rows()

@@ -75,6 +75,7 @@ impl GaussianNb {
             .iter()
             .map(|&v| v.signum() * v.abs().ln_1p())
             .collect();
+        // mfpa-lint: allow(d5, "from_flat over a same-shape map of x cannot mismatch")
         std::borrow::Cow::Owned(Matrix::from_flat(data, x.n_cols()).expect("same shape"))
     }
 
@@ -155,9 +156,8 @@ impl Classifier for GaussianNb {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        let fitted = self.fitted.as_ref();
-        check_predict_inputs(x, fitted.map(|f| f.mean_pos.len()))?;
-        let f = fitted.expect("checked above");
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        check_predict_inputs(x, Some(f.mean_pos.len()))?;
         let x = self.transform(x);
         let x = &x;
         let log_gauss = |v: f64, mean: f64, var: f64| -> f64 {

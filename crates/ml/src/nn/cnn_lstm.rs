@@ -255,8 +255,8 @@ impl Classifier for CnnLstm {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        check_predict_inputs(x, self.state.as_ref().map(|_| self.input_width()))?;
-        let state = self.state.as_ref().expect("checked above");
+        let state = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        check_predict_inputs(x, Some(self.input_width()))?;
         let xs = state.scaler.transform(x)?;
         Ok(xs
             .rows()

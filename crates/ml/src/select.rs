@@ -80,7 +80,9 @@ where
                 round_best = Some((pos, score));
             }
         }
-        let (pos, score) = round_best.expect("remaining is non-empty");
+        let Some((pos, score)) = round_best else {
+            break;
+        };
         let improvement = if best_score.is_finite() {
             score - best_score
         } else {

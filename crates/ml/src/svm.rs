@@ -74,9 +74,8 @@ impl LinearSvm {
     ///
     /// Same as [`Classifier::predict_proba`].
     pub fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
-        let fitted = self.fitted.as_ref();
-        check_predict_inputs(x, fitted.map(|f| f.weights.len()))?;
-        let f = fitted.expect("checked above");
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        check_predict_inputs(x, Some(f.weights.len()))?;
         let xs = f.scaler.transform(x)?;
         Ok(xs
             .rows()
@@ -164,8 +163,8 @@ impl Classifier for LinearSvm {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        let f = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
         let margins = self.decision_function(x)?;
-        let f = self.fitted.as_ref().expect("decision_function checked fit");
         Ok(margins
             .into_iter()
             .map(|m| 1.0 / (1.0 + (-(f.platt_a * m + f.platt_b)).clamp(-700.0, 700.0).exp()))

@@ -58,7 +58,7 @@ pub struct Workers(NonZeroUsize);
 impl Workers {
     /// An explicit worker count; `0` is clamped to `1`.
     pub fn new(n: usize) -> Self {
-        Workers(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
+        Workers(NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN))
     }
 
     /// Resolves the automatic worker count: `MFPA_THREADS` when set to a
@@ -164,6 +164,7 @@ where
     });
     results
         .into_iter()
+        // mfpa-lint: allow(d5, "each scoped worker writes its own disjoint slot before join")
         .map(|slot| slot.expect("every slot filled by its chunk's worker"))
         .collect()
 }

@@ -120,6 +120,7 @@ impl BsodCode {
         BsodCode::ALL
             .iter()
             .position(|b| *b == self)
+            // mfpa-lint: allow(d5, "every BsodCode variant appears in the ALL const table")
             .expect("code is a member of ALL")
     }
 

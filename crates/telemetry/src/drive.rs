@@ -305,6 +305,7 @@ impl DriveModel {
         DriveModel::ALL
             .iter()
             .position(|m| m == self)
+            // mfpa-lint: allow(d5, "every DriveModel variant appears in the ALL const table")
             .expect("model is a member of ALL")
     }
 }

@@ -40,12 +40,8 @@ impl FirmwareNaming {
     pub fn render(self, vendor_ix: usize, seq: u32) -> String {
         match self {
             FirmwareNaming::AlphaNumeric => {
-                let prefix = [b'A' + vendor_ix as u8];
-                format!(
-                    "{}{}TQ",
-                    std::str::from_utf8(&prefix).expect("ascii letter"),
-                    seq
-                )
+                let prefix = (b'A' + vendor_ix as u8) as char;
+                format!("{prefix}{seq}TQ")
             }
             FirmwareNaming::Numeric => format!("{}01{:02}", vendor_ix + 1, seq),
             FirmwareNaming::Dotted => format!("{}.{}.0", vendor_ix + 1, seq),

@@ -6,8 +6,27 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy (workspace, warnings + perf lints are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
+# Severities come from [workspace.lints] in the root Cargo.toml
+# (warnings + clippy::all + clippy::perf are errors); no ad-hoc -D flags.
+echo "== cargo clippy (workspace) =="
+cargo clippy --workspace --all-targets
+
+echo "== mfpa-lint (determinism rule catalog, DESIGN.md §8) =="
+cargo build --release -q -p mfpa-lint
+target/release/mfpa-lint
+
+echo "== mfpa-lint negative smoke: an injected violation must fail the gate =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+mkdir -p "$smoke_dir/crates/core/src"
+printf '[workspace]\nmembers = []\n' > "$smoke_dir/Cargo.toml"
+printf 'pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n' \
+    > "$smoke_dir/crates/core/src/lib.rs"
+if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
+    echo "error: mfpa-lint did not flag an injected unwrap()" >&2
+    exit 1
+fi
+echo "injected violation caught, as expected"
 
 echo "== criterion smoke: histogram vs exact split search (1 sample) =="
 MFPA_BENCH_SAMPLES=1 cargo bench -p mfpa-bench --bench models -- hist

@@ -91,7 +91,7 @@ fn run_lint() -> i32 {
         eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
         return 2;
     };
-    let report = match mfpa_lint::lint_workspace(&root) {
+    let report = match mfpa_lint::lint_workspace(&root, mfpa_lint::LintOptions::default()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

@@ -55,7 +55,7 @@ impl FeatureId {
                 17 + MODEL_W_EVENTS
                     .iter()
                     .position(|m| m == w)
-                    // mfpa-lint: allow(d5, "WinEventCum is only constructed from MODEL_W_EVENTS members")
+                    // mfpa-lint: allow(d8, "WinEventCum is only constructed from MODEL_W_EVENTS members")
                     .expect("event is one of the 5 model events")
             }
             FeatureId::BsodCum(b) => 22 + b.index(),

@@ -2,7 +2,6 @@
 //! balance → train → evaluate.
 
 use std::collections::BTreeMap;
-// mfpa-lint: allow(d3, "stage timing metadata only; never feeds features, labels, or scores")
 use std::time::Instant;
 
 use mfpa_dataset::{split, Matrix, RandomUnderSampler};
@@ -328,7 +327,6 @@ impl Mfpa {
             let history = match &self.config.sanitize {
                 Some(cfg) => {
                     out.n_raw = drive.raw_records().len();
-                    // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
                     let ts = Instant::now();
                     let (h, report) = sanitize(
                         drive.serial(),
@@ -346,7 +344,6 @@ impl Mfpa {
                     drive.history()
                 }
             };
-            // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
             let tp = Instant::now();
             out.series = preprocess(history, drive.firmware(), &self.config.preprocess);
             out.preprocess_secs = tp.elapsed().as_secs_f64();
@@ -373,12 +370,10 @@ impl Mfpa {
             return Err(CoreError::NoUsableDrives);
         }
 
-        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t1 = Instant::now();
         let failure_days = label_failures(&series, fleet.tickets(), &self.config.labeling);
         let labeling_secs = t1.elapsed().as_secs_f64();
 
-        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t2 = Instant::now();
         let samples = crate::windows::build_samples_for(
             &series,
@@ -456,7 +451,6 @@ impl Mfpa {
             &features,
             self.config.max_bins,
         );
-        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t0 = Instant::now();
         model.fit(sub.matrix(), &y).map_err(|e| match e {
             mfpa_ml::MlError::SingleClass => {
@@ -594,7 +588,6 @@ impl TrainedMfpa {
         rows: &[usize],
         name: &str,
     ) -> Result<EvalReport, CoreError> {
-        // mfpa-lint: allow(d3, "wall-clock stage timing metadata only")
         let t0 = Instant::now();
         let probs = self.predict_rows(prepared, rows)?;
         let predict_secs = t0.elapsed().as_secs_f64();

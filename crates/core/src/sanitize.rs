@@ -229,7 +229,7 @@ pub fn sanitize(
         match collapsed.last() {
             Some(prev) if prev.day == record.day => {
                 report.duplicates_collapsed += 1;
-                // mfpa-lint: allow(d5, "guarded by the Some(prev) arm of the last() match above")
+                // mfpa-lint: allow(d8, "guarded by the Some(prev) arm of the last() match above")
                 *collapsed.last_mut().expect("non-empty") = record;
             }
             _ => collapsed.push(record),

@@ -4,7 +4,6 @@
 //! version that is a character variable." [`LabelEncoder`] maps arbitrary
 //! hashable categories to dense integer codes in first-seen order.
 
-// mfpa-lint: allow(d2, "lookup-only map; iteration order lives in the `reverse` Vec")
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -28,7 +27,6 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LabelEncoder<T: Eq + Hash + Clone> {
-    // mfpa-lint: allow(d2, "never iterated; codes are handed out in first-seen order via `reverse`")
     forward: HashMap<T, usize>,
     reverse: Vec<T>,
 }
@@ -37,7 +35,6 @@ impl<T: Eq + Hash + Clone> LabelEncoder<T> {
     /// Creates an empty encoder.
     pub fn new() -> Self {
         LabelEncoder {
-            // mfpa-lint: allow(d2, "see field doc: lookup-only, order carried by `reverse`")
             forward: HashMap::new(),
             reverse: Vec::new(),
         }

@@ -118,7 +118,7 @@ pub fn inject(
         let attr = *SmartAttr::ALL
             .as_slice()
             .choose(&mut rng)
-            // mfpa-lint: allow(d5, "SmartAttr::ALL is a non-empty const table")
+            // mfpa-lint: allow(d8, "SmartAttr::ALL is a non-empty const table")
             .expect("non-empty");
         let start = rng.random_range(0..records.len());
         let frozen = records[start].smart.get(attr);

@@ -413,7 +413,7 @@ impl SimulatedFleet {
         let mut injected_faults = FaultCounts::default();
         let mut generated = generated.into_iter();
         for (stub, delay) in failure_stubs.iter().zip(delays) {
-            // mfpa-lint: allow(d5, "ordered_map yields exactly one result per submitted job")
+            // mfpa-lint: allow(d8, "ordered_map yields exactly one result per submitted job")
             let telemetry = generated.next().expect("one result per job");
             injected_faults.merge(&telemetry.fault_counts);
             failures.push(FailureRecord {
@@ -454,7 +454,7 @@ impl SimulatedFleet {
             .into_iter()
             .map(|((vendor_ix, seq), (population, failures))| FirmwareStats {
                 firmware: FirmwareVersion::new(
-                    // mfpa-lint: allow(d5, "vendor_ix was produced by Vendor::index on this table")
+                    // mfpa-lint: allow(d8, "vendor_ix was produced by Vendor::index on this table")
                     Vendor::from_index(vendor_ix).expect("valid vendor index"),
                     seq,
                 ),

@@ -52,6 +52,11 @@ pub fn tokenize(src: &str) -> Vec<Token> {
     .run()
 }
 
+/// Whether a char can start an identifier.
+fn ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
@@ -83,6 +88,11 @@ impl Lexer {
     }
 
     fn run(mut self) -> Vec<Token> {
+        // A shebang line (`#!...` not starting an inner attribute) is
+        // consumed as a comment so its payload can never match a rule.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            self.line_comment(1);
+        }
         while let Some(c) = self.peek(0) {
             let line = self.line;
             match c {
@@ -99,6 +109,13 @@ impl Lexer {
                 'r' if self.raw_string_ahead(1) => {
                     self.bump();
                     self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(ident_start) => {
+                    // Raw identifier `r#type`: the `r#` escape is lexer
+                    // noise; the token is the identifier proper.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
                 }
                 'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
                     self.bump();
@@ -354,6 +371,55 @@ mod tests {
         let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; }");
         assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
         assert!(toks.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let got = idents("fn r#type(r#fn: u32) {}");
+        assert_eq!(
+            got,
+            vec![
+                ("fn".into(), 1),
+                ("type".into(), 1),
+                ("fn".into(), 1),
+                ("u32".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_does_not_break_raw_strings() {
+        let got = idents("let s = r#\"unwrap\"#; r#match");
+        assert_eq!(
+            got,
+            vec![("let".into(), 1), ("s".into(), 1), ("match".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment() {
+        let toks = tokenize("#!/usr/bin/env run-cargo-script\nfn f() {}\n");
+        assert!(matches!(
+            toks.first().map(|t| &t.kind),
+            Some(TokenKind::Comment { .. })
+        ));
+        let got: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, vec![("fn".into(), 2), ("f".into(), 2)]);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let toks = tokenize("#![warn(missing_docs)]\n");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Punct('#')));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("warn".into())));
     }
 
     #[test]

@@ -5,33 +5,76 @@
 //! The tool walks every library `.rs` file in the workspace
 //! (`crates/*/src/**`, plus the root package's `src/**`), tokenizes it
 //! with a small hand-rolled lexer (no `syn` — the build environment has
-//! no crates.io), and applies the [`rules::RULES`] catalog. Violations
-//! can be suppressed inline with a mandatory justification:
+//! no crates.io), and runs two passes over it:
+//!
+//! 1. the **lexical** rules d1–d6 over each file's token stream, and
+//! 2. the **interprocedural** rules d7–d9: a total parser recovers the
+//!    item tree ([`parser`]), a workspace call graph is built with
+//!    conservative fallback edges ([`callgraph`]), and per-function
+//!    dataflow facts ([`taint`]) are mapped through *reachability from
+//!    the declared deterministic roots* ([`ROOT_SPECS`]). A fact inside
+//!    a reachable function becomes a d7/d8/d9 finding carrying the full
+//!    `root → … → sink` call chain; the same fact in unreachable code
+//!    falls back to the crate-scoped d2/d3 rules.
+//!
+//! Violations can be suppressed inline with a mandatory justification:
 //!
 //! ```text
 //! let t = Instant::now(); // mfpa-lint: allow(d3, "timing metadata only")
 //! ```
 //!
 //! A standalone suppression comment covers the next line; adjacent
-//! standalone suppressions stack. Suppressions without a reason,
-//! with an unknown rule id, or that match nothing are themselves
-//! violations — suppression creep must stay visible.
+//! standalone suppressions stack. Each allow is consumed by exactly one
+//! finding line: suppressions without a reason, with an unknown rule
+//! id, or that match nothing are themselves violations — suppression
+//! creep must stay visible.
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use callgraph::{CallGraph, FileItems, Reachability};
 use rules::{RawFinding, Suppression};
+
+/// The declared deterministic roots (DESIGN §8): every function
+/// reachable from one of these must satisfy d7–d9. A spec's last
+/// segment is a function name; preceding segments must match the
+/// node's `impl` type, trait, module, or crate.
+pub const ROOT_SPECS: &[&str] = &[
+    "pipeline::prepare",
+    "deploy::score_fleet",
+    "DriveMonitor::ingest",
+    "fleet::generate",
+    "Classifier::fit",
+    "Classifier::predict_proba",
+];
+
+/// The snapshot/JSON schema version. Bumped to 2 when findings gained
+/// the `chain` field and the snapshot per-rule `entries`.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Options controlling the analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Also flag slice/array indexing reachable from a deterministic
+    /// root under d8 (`--index-checks`; off by default because bounds-
+    /// checked indexing is pervasive and panics there are a severity
+    /// tier below unwrap-on-corrupt-telemetry).
+    pub index_checks: bool,
+}
 
 /// One lint finding, suppressed or not.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Finding {
-    /// Catalog rule id (`d1`..`d6`), or `lint` for meta findings.
+    /// Catalog rule id (`d1`..`d9`), or `lint` for meta findings.
     pub rule: String,
     /// Workspace-relative file path.
     pub file: String,
@@ -39,6 +82,11 @@ pub struct Finding {
     pub line: u32,
     /// What was matched.
     pub message: String,
+    /// The call chain that makes this finding matter: for d7–d9 the
+    /// shortest `root → … → sink` path from a deterministic root; for
+    /// lexical findings the enclosing function (or the file label for
+    /// module-level hits).
+    pub chain: Vec<String>,
     /// The suppression reason when an `allow` covers this finding.
     pub suppressed: Option<String>,
 }
@@ -50,6 +98,9 @@ impl fmt::Display for Finding {
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
         )?;
+        if self.chain.len() > 1 {
+            write!(f, "\n    chain: {}", self.chain.join(" → "))?;
+        }
         if let Some(reason) = &self.suppressed {
             write!(f, " (allowed: {reason})")?;
         }
@@ -116,6 +167,7 @@ impl LintReport {
     /// Machine-readable report (`--format json`).
     pub fn to_json(&self) -> serde_json::Value {
         serde_json::json!({
+            "schema_version": SCHEMA_VERSION,
             "files_scanned": self.n_files,
             "violations": self.unsuppressed().count(),
             "allowed": self.suppressed().count(),
@@ -124,33 +176,36 @@ impl LintReport {
     }
 
     /// The committed `results/lint_report.json` snapshot: per rule, the
-    /// number of suppressions and their reasons, so suppression creep
-    /// shows up in diffs.
+    /// suppressions with their reasons and call chains, so suppression
+    /// creep shows up in diffs and every waiver stays attributable to a
+    /// deterministic root.
     pub fn snapshot_json(&self) -> serde_json::Value {
-        let mut per_rule: BTreeMap<&str, (usize, Vec<String>)> = BTreeMap::new();
+        let mut per_rule: BTreeMap<&str, Vec<serde_json::Value>> = BTreeMap::new();
         for r in rules::RULES {
-            per_rule.insert(r.id, (0, Vec::new()));
+            per_rule.insert(r.id, Vec::new());
         }
         for f in self.suppressed() {
-            let entry = per_rule.entry(f.rule.as_str()).or_default();
-            entry.0 += 1;
-            if let Some(reason) = &f.suppressed {
-                entry.1.push(format!("{}:{}: {}", f.file, f.line, reason));
-            }
+            let entry = serde_json::json!({
+                "at": format!("{}:{}", f.file, f.line),
+                "reason": f.suppressed.clone().unwrap_or_default(),
+                "chain": f.chain,
+            });
+            per_rule.entry(f.rule.as_str()).or_default().push(entry);
         }
         let rules_json: Vec<serde_json::Value> = rules::RULES
             .iter()
             .map(|r| {
-                let (n, reasons) = per_rule.get(r.id).cloned().unwrap_or_default();
+                let entries = per_rule.get(r.id).cloned().unwrap_or_default();
                 serde_json::json!({
                     "rule": r.id,
                     "name": r.name,
-                    "allows": n,
-                    "reasons": reasons,
+                    "allows": entries.len(),
+                    "entries": entries,
                 })
             })
             .collect();
         serde_json::json!({
+            "schema_version": SCHEMA_VERSION,
             "files_scanned": self.n_files,
             "violations": self.unsuppressed().count(),
             "rules": rules_json,
@@ -204,50 +259,292 @@ fn render(value: &serde_json::Value, indent: usize, out: &mut String) {
     }
 }
 
-/// Lints one file's source text as belonging to `crate_name` (the
-/// directory name under `crates/`, or `suite` for the root package).
-pub fn lint_source(crate_name: &str, file_label: &str, src: &str) -> Vec<Finding> {
-    let tokens = lexer::tokenize(src);
+/// One source file to lint: crate directory name (`core`, …, `suite`),
+/// workspace-relative label, and the source text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate directory name under `crates/`, or `suite` for the root
+    /// package.
+    pub crate_name: String,
+    /// Workspace-relative path label used in findings.
+    pub label: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Per-file output of the parallel scan stage.
+struct FileScan {
+    crate_name: String,
+    label: String,
+    allows: Vec<Suppression>,
+    malformed: Vec<RawFinding>,
+    lexical: Vec<RawFinding>,
+    items: FileItems,
+}
+
+fn scan_file(sf: &SourceFile) -> FileScan {
+    let tokens = lexer::tokenize(&sf.text);
     let kept = rules::strip_test_code(&tokens);
     let (allows, malformed) = rules::extract_suppressions(&kept);
-    let raw = rules::scan_rules(crate_name, &comment_free(&kept));
+    let code = comment_free(&kept);
+    let lexical = rules::scan_rules(&sf.crate_name, &code);
+    let parsed = parser::parse(&code);
+    let facts = parsed
+        .functions
+        .iter()
+        .map(|f| taint::analyze_fn(&code, f, &parsed.unordered_fields))
+        .collect();
+    FileScan {
+        crate_name: sf.crate_name.clone(),
+        label: sf.label.clone(),
+        allows,
+        malformed,
+        lexical,
+        items: FileItems {
+            crate_name: sf.crate_name.clone(),
+            label: sf.label.clone(),
+            mod_path: callgraph::module_path_from_label(&sf.label),
+            parsed,
+            facts,
+        },
+    }
+}
 
-    let mut used = vec![false; allows.len()];
-    let mut findings: Vec<Finding> = Vec::new();
-    for hit in raw {
-        let reason = match_suppression(&allows, &mut used, &hit);
-        findings.push(Finding {
-            rule: hit.rule.to_owned(),
-            file: file_label.to_owned(),
-            line: hit.line,
-            message: hit.message,
-            suppressed: reason,
+/// Builds the workspace call graph for a set of in-memory files.
+/// Per-file parsing runs on the deterministic `mfpa_par` pool, so the
+/// graph is bit-identical at any `MFPA_THREADS`.
+pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
+    let workers = mfpa_par::Workers::from_config(0);
+    let scans = mfpa_par::ordered_map(files, workers, |_, sf| scan_file(sf));
+    let items: Vec<FileItems> = scans.into_iter().map(|s| s.items).collect();
+    CallGraph::build(&items)
+}
+
+/// Lints a set of in-memory source files as one workspace: lexical
+/// rules per file, then the interprocedural d7–d9 pass over the whole
+/// set. This is the core entry point; [`lint_workspace`] and
+/// [`lint_source`] are thin wrappers.
+pub fn lint_files(files: &[SourceFile], opts: LintOptions) -> LintReport {
+    let workers = mfpa_par::Workers::from_config(0);
+    let scans = mfpa_par::ordered_map(files, workers, |_, sf| scan_file(sf));
+    let items: Vec<FileItems> = scans.iter().map(|s| s.items.clone()).collect();
+    let graph = CallGraph::build(&items);
+    let reach = Reachability::compute(&graph, ROOT_SPECS);
+
+    // Node indices per file label, for span lookup.
+    let mut nodes_of_file: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (ix, n) in graph.nodes.iter().enumerate() {
+        nodes_of_file.entry(n.file.as_str()).or_default().push(ix);
+    }
+
+    let mut report = LintReport {
+        findings: Vec::new(),
+        n_files: files.len(),
+    };
+    for scan in &scans {
+        let file_nodes = nodes_of_file
+            .get(scan.label.as_str())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        report
+            .findings
+            .extend(assemble_file(scan, &graph, &reach, file_nodes, opts));
+    }
+    report.findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    report
+}
+
+/// A hit plus its chain, before suppression matching.
+struct Hit {
+    rule: &'static str,
+    line: u32,
+    message: String,
+    chain: Vec<String>,
+}
+
+/// Turns one file's lexical hits and per-function facts into findings,
+/// applying reachability gating and suppression matching.
+fn assemble_file(
+    scan: &FileScan,
+    graph: &CallGraph,
+    reach: &Reachability,
+    file_nodes: &[usize],
+    opts: LintOptions,
+) -> Vec<Finding> {
+    let chain_names = |ix: usize| -> Vec<String> {
+        reach.chains[ix]
+            .as_ref()
+            .map(|c| c.iter().map(|&i| graph.nodes[i].qname.clone()).collect())
+            .unwrap_or_default()
+    };
+    // The innermost function whose span covers `line`.
+    let enclosing = |line: u32| -> Option<usize> {
+        file_nodes
+            .iter()
+            .copied()
+            .filter(|&ix| {
+                let n = &graph.nodes[ix];
+                n.line <= line && line <= n.end_line
+            })
+            .min_by_key(|&ix| graph.nodes[ix].end_line - graph.nodes[ix].line)
+    };
+    let reachable = |ix: usize| reach.chains[ix].is_some();
+
+    let mut hits: Vec<Hit> = Vec::new();
+
+    // Lexical rules. d3/d5 hits inside a reachable function are
+    // superseded by the interprocedural d9/d8 findings for the same
+    // tokens (which add the call chain); dropping them here keeps one
+    // finding per site.
+    for raw in &scan.lexical {
+        let encl = enclosing(raw.line);
+        if matches!(raw.rule, "d3" | "d5") {
+            if let Some(ix) = encl {
+                if reachable(ix) {
+                    continue;
+                }
+            }
+        }
+        let chain = match encl {
+            Some(ix) => vec![graph.nodes[ix].qname.clone()],
+            None => vec![scan.label.clone()],
+        };
+        hits.push(Hit {
+            rule: raw.rule,
+            line: raw.line,
+            message: raw.message.clone(),
+            chain,
         });
     }
-    for m in malformed {
+
+    // Interprocedural facts, routed by reachability.
+    let d2_scope = |rule_id: &str| {
+        rules::rule_by_id(rule_id).is_some_and(|r| rules::in_scope(r, &scan.crate_name))
+    };
+    for &ix in file_nodes {
+        let n = &graph.nodes[ix];
+        if reachable(ix) {
+            let chain = chain_names(ix);
+            for s in &n.facts.unordered_sites {
+                hits.push(Hit {
+                    rule: "d7",
+                    line: s.line,
+                    message: s.what.clone(),
+                    chain: chain.clone(),
+                });
+            }
+            for s in &n.facts.panic_sites {
+                hits.push(Hit {
+                    rule: "d8",
+                    line: s.line,
+                    message: s.what.clone(),
+                    chain: chain.clone(),
+                });
+            }
+            if opts.index_checks {
+                for s in &n.facts.index_sites {
+                    hits.push(Hit {
+                        rule: "d8",
+                        line: s.line,
+                        message: s.what.clone(),
+                        chain: chain.clone(),
+                    });
+                }
+            }
+            for s in n.facts.clock_sites.iter().chain(&n.facts.entropy_sites) {
+                hits.push(Hit {
+                    rule: "d9",
+                    line: s.line,
+                    message: s.what.clone(),
+                    chain: chain.clone(),
+                });
+            }
+        } else {
+            // Unreachable code falls back to the crate-scoped lexical
+            // rule families (panics and entropy are already covered by
+            // the lexical d5/d3 arms above).
+            if d2_scope("d2") {
+                for s in &n.facts.unordered_sites {
+                    hits.push(Hit {
+                        rule: "d2",
+                        line: s.line,
+                        message: s.what.clone(),
+                        chain: vec![n.qname.clone()],
+                    });
+                }
+            }
+            if d2_scope("d3") {
+                for s in &n.facts.clock_sites {
+                    hits.push(Hit {
+                        rule: "d3",
+                        line: s.line,
+                        message: s.what.clone(),
+                        chain: vec![n.qname.clone()],
+                    });
+                }
+            }
+        }
+    }
+
+    hits.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+
+    // Suppression matching: hits of one rule on one line form a group,
+    // and each group consumes at most one allow — the nearest unused
+    // one (same line first, then upward through a contiguous standalone
+    // stack). An allow can never cover two finding lines.
+    let mut used = vec![false; scan.allows.len()];
+    let mut reasons: BTreeMap<(&'static str, u32), Option<String>> = BTreeMap::new();
+    for h in &hits {
+        let key = (h.rule, h.line);
+        if reasons.contains_key(&key) {
+            continue;
+        }
+        let reason = consume_allow(&scan.allows, &mut used, h.rule, h.line);
+        reasons.insert(key, reason);
+    }
+
+    let mut findings: Vec<Finding> = hits
+        .into_iter()
+        .map(|h| Finding {
+            rule: h.rule.to_owned(),
+            file: scan.label.clone(),
+            line: h.line,
+            message: h.message,
+            chain: h.chain,
+            suppressed: reasons.get(&(h.rule, h.line)).cloned().flatten(),
+        })
+        .collect();
+
+    for m in &scan.malformed {
         findings.push(Finding {
             rule: m.rule.to_owned(),
-            file: file_label.to_owned(),
+            file: scan.label.clone(),
             line: m.line,
-            message: m.message,
+            message: m.message.clone(),
+            chain: vec![scan.label.clone()],
             suppressed: None,
         });
     }
-    for (allow, used) in allows.iter().zip(&used) {
+    for (allow, used) in scan.allows.iter().zip(&used) {
         if !used {
             findings.push(Finding {
                 rule: "lint".to_owned(),
-                file: file_label.to_owned(),
+                file: scan.label.clone(),
                 line: allow.line,
                 message: format!(
                     "unused suppression for `{}` (nothing to allow here — remove it)",
                     allow.rule
                 ),
+                chain: vec![scan.label.clone()],
                 suppressed: None,
             });
         }
     }
-    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
     findings
 }
 
@@ -259,37 +556,54 @@ fn comment_free(tokens: &[lexer::Token]) -> Vec<lexer::Token> {
         .collect()
 }
 
-/// Finds the `allow` covering `hit`, marking it used: a trailing
-/// suppression on the hit's own line, or a standalone suppression on
-/// the line(s) immediately above (standalone allows stack).
-fn match_suppression(
+/// Finds and consumes the nearest unused `allow` covering a finding
+/// group at (`rule`, `line`): first any allow on the line itself
+/// (trailing or same-line block comment), then standalone allows
+/// walking upward through a contiguous block. Consumed allows are
+/// never reused for another finding line — that is the fix for the
+/// stacked-allow accounting bug, where a same-line standalone allow
+/// could cover both its own line and the next.
+fn consume_allow(
     allows: &[Suppression],
     used: &mut [bool],
-    hit: &RawFinding,
+    rule: &str,
+    line: u32,
 ) -> Option<String> {
-    let at = |line: u32, standalone_only: bool| -> Option<usize> {
-        allows.iter().position(|a| {
-            a.line == line && a.rule == hit.rule && (!standalone_only || a.standalone)
-        })
-    };
-    if let Some(ix) = at(hit.line, false) {
+    let mut take = |pred: &dyn Fn(&Suppression) -> bool| -> Option<String> {
+        let ix = allows
+            .iter()
+            .enumerate()
+            .position(|(i, a)| !used[i] && a.rule == rule && pred(a))?;
         used[ix] = true;
-        return Some(allows[ix].reason.clone());
+        Some(allows[ix].reason.clone())
+    };
+    if let Some(reason) = take(&|a| a.line == line) {
+        return Some(reason);
     }
-    // Walk upward through a contiguous block of standalone allows.
-    let mut line = hit.line;
-    while line > 1 {
-        line -= 1;
-        let any_standalone_here = allows.iter().any(|a| a.line == line && a.standalone);
-        if !any_standalone_here {
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if !allows.iter().any(|a| a.line == l && a.standalone) {
             break;
         }
-        if let Some(ix) = at(line, true) {
-            used[ix] = true;
-            return Some(allows[ix].reason.clone());
+        if let Some(reason) = take(&|a| a.line == l && a.standalone) {
+            return Some(reason);
         }
     }
     None
+}
+
+/// Lints one file's source text as belonging to `crate_name` (the
+/// directory name under `crates/`, or `suite` for the root package).
+/// The file is treated as a one-file workspace: roots it declares are
+/// honored, everything else falls to the crate-scoped lexical rules.
+pub fn lint_source(crate_name: &str, file_label: &str, src: &str) -> Vec<Finding> {
+    let files = [SourceFile {
+        crate_name: crate_name.to_owned(),
+        label: file_label.to_owned(),
+        text: src.to_owned(),
+    }];
+    lint_files(&files, LintOptions::default()).findings
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -308,7 +622,7 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Lints every library source file under the workspace root: each
+/// Collects every library source file under the workspace root: each
 /// `crates/<name>/src/**/*.rs` plus the root package's `src/**/*.rs`.
 /// `tests/`, `benches/`, `examples/`, `vendor/` and `target/` are out
 /// of scope — the contract governs shipping code.
@@ -316,11 +630,9 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// # Errors
 ///
 /// Returns [`LintError`] on I/O failures (unreadable directories or
-/// files), never on lint findings.
-pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
-    let mut report = LintReport::default();
+/// files).
+pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, LintError> {
     let mut units: Vec<(String, PathBuf)> = Vec::new();
-
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         let entries = std::fs::read_dir(&crates_dir)
@@ -340,6 +652,7 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
     }
     units.sort();
 
+    let mut out = Vec::new();
     for (crate_name, src_dir) in units {
         let mut files = Vec::new();
         collect_rs_files(&src_dir, &mut files)?;
@@ -352,19 +665,25 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            report
-                .findings
-                .extend(lint_source(&crate_name, &label, &text));
-            report.n_files += 1;
+            out.push(SourceFile {
+                crate_name: crate_name.clone(),
+                label,
+                text,
+            });
         }
     }
-    report.findings.sort_by(|a, b| {
-        a.file
-            .cmp(&b.file)
-            .then_with(|| a.line.cmp(&b.line))
-            .then_with(|| a.rule.cmp(&b.rule))
-    });
-    Ok(report)
+    Ok(out)
+}
+
+/// Lints every library source file under the workspace root.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on I/O failures (unreadable directories or
+/// files), never on lint findings.
+pub fn lint_workspace(root: &Path, opts: LintOptions) -> Result<LintReport, LintError> {
+    let files = collect_workspace(root)?;
+    Ok(lint_files(&files, opts))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
@@ -396,17 +715,48 @@ mod tests {
 
     #[test]
     fn standalone_allow_covers_next_line_and_stacks() {
-        let src = "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 {\n    // mfpa-lint: allow(d2, \"lookup only\")\n    // mfpa-lint: allow(d5, \"checked above\")\n    HashMap::<u32, u32>::new().get(&0).copied().unwrap()\n}\n";
-        // Line 1's HashMap is unsuppressed; line 5's HashMap + unwrap
-        // are covered by the stacked standalone allows.
+        let src = "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    // mfpa-lint: allow(d2, \"order normalized downstream\")\n    // mfpa-lint: allow(d5, \"checked above\")\n    m.values().map(|v| v.checked_add(1).unwrap()).collect()\n}\n";
         let findings = lint_source("core", "f.rs", src);
-        let bad: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
-        assert_eq!(bad.len(), 1, "{findings:?}");
-        assert_eq!(bad[0].line, 1);
-        assert_eq!(
-            findings.iter().filter(|f| f.suppressed.is_some()).count(),
-            2
+        assert!(
+            findings.iter().all(|f| f.suppressed.is_some()),
+            "{findings:?}"
         );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn one_allow_covers_exactly_one_finding_line() {
+        // A same-line block-comment allow is standalone (no code before
+        // it on its line); it must not also cover the next line.
+        let src = "fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    /* mfpa-lint: allow(d5, \"first\") */ let a = x.unwrap();\n    let b = y.unwrap();\n    a + b\n}\n";
+        let findings = lint_source("core", "f.rs", src);
+        let suppressed: Vec<u32> = findings
+            .iter()
+            .filter(|f| f.suppressed.is_some())
+            .map(|f| f.line)
+            .collect();
+        let open: Vec<u32> = findings
+            .iter()
+            .filter(|f| f.suppressed.is_none())
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(suppressed, vec![2], "{findings:?}");
+        assert_eq!(open, vec![3], "{findings:?}");
+    }
+
+    #[test]
+    fn stacked_same_rule_allows_distribute_by_line() {
+        // Two stacked d5 allows above one finding line: the nearest is
+        // consumed, the farther one is reported unused — not silently
+        // masked.
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // mfpa-lint: allow(d5, \"outer\")\n    // mfpa-lint: allow(d5, \"inner\")\n    x.unwrap()\n}\n";
+        let findings = lint_source("core", "f.rs", src);
+        let d5: Vec<_> = findings.iter().filter(|f| f.rule == "d5").collect();
+        assert_eq!(d5.len(), 1);
+        assert_eq!(d5[0].suppressed.as_deref(), Some("inner"));
+        let unused: Vec<_> = findings.iter().filter(|f| f.rule == "lint").collect();
+        assert_eq!(unused.len(), 1, "{findings:?}");
+        assert_eq!(unused[0].line, 2);
     }
 
     #[test]
@@ -444,9 +794,104 @@ mod tests {
 
     #[test]
     fn out_of_scope_crate_is_silent() {
-        // bench may panic and take wall-clock time freely.
+        // bench may panic and take wall-clock time freely (as long as
+        // nothing reachable from a deterministic root lives there).
         let src = "fn f(x: Option<u32>) -> u32 { let _t = Instant::now(); x.unwrap() }\n";
         assert!(lint_source("bench", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reachable_panic_is_d8_with_chain() {
+        let src = "
+            pub struct MfpaConfig;
+            impl MfpaConfig {
+                pub fn prepare(&self) { step(); }
+            }
+            fn step(x: Option<u32>) -> u32 { x.unwrap() }
+        ";
+        let findings = lint_source("core", "crates/core/src/pipeline.rs", src);
+        let d8: Vec<_> = findings.iter().filter(|f| f.rule == "d8").collect();
+        assert_eq!(d8.len(), 1, "{findings:?}");
+        assert_eq!(
+            d8[0].chain,
+            vec![
+                "core::pipeline::MfpaConfig::prepare".to_owned(),
+                "core::pipeline::step".to_owned(),
+            ]
+        );
+        // The lexical d5 hit for the same token is superseded.
+        assert!(findings.iter().all(|f| f.rule != "d5"), "{findings:?}");
+    }
+
+    #[test]
+    fn unordered_iteration_reaching_a_root_is_d7() {
+        let src = "
+            pub fn score_fleet(m: &HashMap<String, f64>) -> Vec<f64> {
+                collect_scores(m)
+            }
+            fn collect_scores(m: &HashMap<String, f64>) -> Vec<f64> {
+                m.values().cloned().collect()
+            }
+            fn lookup_only(m: &HashMap<String, f64>) -> f64 {
+                *m.get(\"a\").unwrap_or(&0.0)
+            }
+        ";
+        let findings = lint_source("core", "crates/core/src/deploy.rs", src);
+        let d7: Vec<_> = findings.iter().filter(|f| f.rule == "d7").collect();
+        assert_eq!(d7.len(), 1, "{findings:?}");
+        assert_eq!(d7[0].chain.len(), 2);
+        assert!(d7[0].chain[0].ends_with("score_fleet"));
+    }
+
+    #[test]
+    fn clock_escape_reaching_a_root_is_d9() {
+        let src = "
+            pub struct DriveMonitor;
+            impl DriveMonitor {
+                pub fn ingest(&mut self) -> u64 { seed() }
+            }
+            fn seed() -> u64 {
+                let t = Instant::now();
+                hash_of(t)
+            }
+        ";
+        let findings = lint_source("telemetry", "crates/telemetry/src/drive.rs", src);
+        let d9: Vec<_> = findings.iter().filter(|f| f.rule == "d9").collect();
+        assert_eq!(d9.len(), 1, "{findings:?}");
+        assert_eq!(d9[0].chain.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_facts_fall_back_to_crate_scoped_rules() {
+        let src = "
+            fn helper(m: &HashMap<String, f64>) -> Vec<f64> {
+                m.values().cloned().collect()
+            }
+        ";
+        let findings = lint_source("core", "crates/core/src/util.rs", src);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["d2"], "{findings:?}");
+        // Same fact in a crate outside the d2 scope: silent.
+        assert!(lint_source("lint", "crates/lint/src/util.rs", src)
+            .iter()
+            .all(|f| f.rule != "d2"));
+    }
+
+    #[test]
+    fn index_checks_are_opt_in() {
+        let src = "
+            pub fn score_fleet(v: &[f64]) -> f64 { v[0] }
+        ";
+        let files = [SourceFile {
+            crate_name: "core".into(),
+            label: "crates/core/src/deploy.rs".into(),
+            text: src.into(),
+        }];
+        let off = lint_files(&files, LintOptions::default());
+        assert!(off.findings.is_empty(), "{:?}", off.findings);
+        let on = lint_files(&files, LintOptions { index_checks: true });
+        assert_eq!(on.findings.len(), 1, "{:?}", on.findings);
+        assert_eq!(on.findings[0].rule, "d8");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! CLI for the workspace determinism-and-robustness lint pass.
 //!
 //! ```text
-//! mfpa-lint [--root PATH] [--format human|json] [--report PATH] [--verbose]
+//! mfpa-lint [--root PATH] [--format human|json] [--report PATH]
+//!           [--index-checks] [--verbose]
 //! ```
 //!
 //! Exit codes (CI semantics): `0` clean, `1` unsuppressed violations,
@@ -14,6 +15,7 @@ struct Args {
     root: Option<PathBuf>,
     format: Format,
     report: Option<PathBuf>,
+    index_checks: bool,
     verbose: bool,
 }
 
@@ -28,6 +30,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         format: Format::Human,
         report: None,
+        index_checks: false,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -45,10 +48,12 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--report" => args.report = Some(PathBuf::from(grab("--report")?)),
+            "--index-checks" => args.index_checks = true,
             "--verbose" => args.verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "mfpa-lint [--root PATH] [--format human|json] [--report PATH] [--verbose]"
+                    "mfpa-lint [--root PATH] [--format human|json] [--report PATH] \
+                     [--index-checks] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -68,7 +73,10 @@ fn run() -> Result<bool, String> {
                 .ok_or("no workspace Cargo.toml above the current directory (use --root)")?
         }
     };
-    let report = mfpa_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    let opts = mfpa_lint::LintOptions {
+        index_checks: args.index_checks,
+    };
+    let report = mfpa_lint::lint_workspace(&root, opts).map_err(|e| e.to_string())?;
     match args.format {
         Format::Human => {
             if args.verbose {

@@ -19,8 +19,12 @@ pub struct Rule {
     /// What the rule forbids.
     pub summary: &'static str,
     /// Crates the rule applies to (crate dir names; `suite` is the
-    /// workspace root package).
+    /// workspace root package). Interprocedural rules carry an empty
+    /// crate scope: their domain is reachability, not directories.
     pub scope: &'static [&'static str],
+    /// Whether the rule is scoped by reachability from the declared
+    /// deterministic roots (d7–d9) instead of by crate directory.
+    pub interprocedural: bool,
 }
 
 const LIB_CRATES: &[&str] = &[
@@ -58,32 +62,43 @@ const NO_PAR: &[&str] = &[
 ];
 const COUNTER_CRATES: &[&str] = &["telemetry", "fleetsim", "dataset", "ml", "core"];
 
-/// The six contract rules, in catalog order.
+/// The contract rules, in catalog order. d1–d6 are the lexical rules
+/// scoped by crate directory (d2/d3/d5 now cover only code *not*
+/// reachable from a deterministic root); d7–d9 are the interprocedural
+/// rules scoped by reachability, and their findings carry the full
+/// `root → … → sink` call chain.
 pub const RULES: &[Rule] = &[
     Rule {
         id: "d1",
         name: "thread-outside-par",
         summary: "thread spawning (`std::thread::spawn`/`scope`, rayon) outside crates/par",
         scope: NO_PAR,
+        interprocedural: false,
     },
     Rule {
         id: "d2",
         name: "unordered-iteration",
-        summary: "`HashMap`/`HashSet` in crates whose iteration order can reach \
-                  ordered or serialized output (use `BTreeMap`/`BTreeSet` or sort)",
+        summary: "a value derived from `HashMap`/`HashSet` iteration escapes a function \
+                  in a crate feeding ordered/serialized output (lookup-only maps are \
+                  machine-verified clean; use `BTreeMap`/`BTreeSet` or collect-and-sort)",
         scope: ORDERED_OUTPUT,
+        interprocedural: false,
     },
     Rule {
         id: "d3",
         name: "wall-clock-entropy",
-        summary: "`Instant`/`SystemTime`/entropy sources in deterministic paths",
+        summary: "`Instant`/`SystemTime` values escaping timing metadata, or entropy \
+                  sources, in deterministic crates (elapsed-into-timing-fields is \
+                  machine-verified clean)",
         scope: DETERMINISTIC,
+        interprocedural: false,
     },
     Rule {
         id: "d4",
         name: "partial-float-order",
         summary: "`partial_cmp` on floats (NaN-unsafe ordering; use `total_cmp`)",
         scope: EVERYWHERE,
+        interprocedural: false,
     },
     Rule {
         id: "d5",
@@ -91,12 +106,41 @@ pub const RULES: &[Rule] = &[
         summary: "`unwrap()`/`expect()`/`panic!` in non-test library code \
                   (return structured errors instead)",
         scope: LIB_CRATES,
+        interprocedural: false,
     },
     Rule {
         id: "d6",
         name: "truncating-cast",
         summary: "truncating `as` cast to a narrow integer on a counter/timestamp value",
         scope: COUNTER_CRATES,
+        interprocedural: false,
+    },
+    Rule {
+        id: "d7",
+        name: "unordered-iteration-taint",
+        summary: "a value derived from `HashMap`/`HashSet` iteration flows out of a \
+                  function reachable from a deterministic root (ordered output, \
+                  scores and serialized reports must not observe hash order)",
+        scope: &[],
+        interprocedural: true,
+    },
+    Rule {
+        id: "d8",
+        name: "panic-reachable",
+        summary: "`unwrap()`/`expect()`/`panic!` (and, with --index-checks, slice \
+                  indexing) in a function reachable from a deterministic root, \
+                  in any crate",
+        scope: &[],
+        interprocedural: true,
+    },
+    Rule {
+        id: "d9",
+        name: "clock-entropy-taint",
+        summary: "`Instant`/`SystemTime`/entropy/thread-id-derived values reaching \
+                  code on a path from a deterministic root to model inputs \
+                  (elapsed-into-timing-fields is machine-verified clean)",
+        scope: &[],
+        interprocedural: true,
     },
 ];
 
@@ -139,20 +183,42 @@ pub struct Suppression {
 /// Marker scanned for inside comments.
 pub const SUPPRESS_MARKER: &str = "mfpa-lint:";
 
-/// Removes `#[cfg(test)]` items and `#[test]` functions from the token
-/// stream (comments inside removed items vanish with them).
+/// Removes `#[cfg(test)]` items, `#[test]` functions, and scopes gated
+/// by an inner `#![cfg(test)]` attribute from the token stream
+/// (comments inside removed items vanish with them).
 pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
     let mut out = Vec::with_capacity(tokens.len());
     let mut i = 0;
     while i < tokens.len() {
         if is_attr_start(tokens, i) {
-            let (attr_end, is_test) = read_attr(tokens, i);
-            if is_test {
-                i = skip_item(tokens, attr_end);
+            let attr = read_attr(tokens, i);
+            if attr.is_test {
+                if attr.inner {
+                    // An inner `#![cfg(test)]` gates the rest of its
+                    // enclosing scope: the whole file at top level, or
+                    // the remainder of the `{ ... }` block it opens.
+                    let mut depth = 0usize;
+                    i = attr.end;
+                    while i < tokens.len() {
+                        match tokens[i].kind {
+                            TokenKind::Punct('{') => depth += 1,
+                            TokenKind::Punct('}') => {
+                                if depth == 0 {
+                                    break; // the enclosing scope's closer stays
+                                }
+                                depth -= 1;
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                i = skip_item(tokens, attr.end);
                 continue;
             }
-            out.extend_from_slice(&tokens[i..attr_end]);
-            i = attr_end;
+            out.extend_from_slice(&tokens[i..attr.end]);
+            i = attr.end;
             continue;
         }
         out.push(tokens[i].clone());
@@ -162,11 +228,23 @@ pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
 }
 
 fn is_attr_start(tokens: &[Token], i: usize) -> bool {
-    matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct('#')))
-        && matches!(
-            next_code(tokens, i + 1).map(|j| &tokens[j].kind),
-            Some(TokenKind::Punct('['))
-        )
+    if !matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct('#'))) {
+        return false;
+    }
+    match next_code(tokens, i + 1).map(|j| &tokens[j].kind) {
+        Some(TokenKind::Punct('[')) => true,
+        // Inner attribute `#![...]`.
+        Some(TokenKind::Punct('!')) => {
+            let Some(j) = next_code(tokens, i + 1) else {
+                return false;
+            };
+            matches!(
+                next_code(tokens, j + 1).map(|k| &tokens[k].kind),
+                Some(TokenKind::Punct('['))
+            )
+        }
+        _ => false,
+    }
 }
 
 /// First non-comment token index at or after `i`.
@@ -180,14 +258,25 @@ fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
     None
 }
 
+/// A parsed attribute: where it ends, whether it gates test-only code,
+/// and whether it is an inner (`#![...]`) attribute.
+struct Attr {
+    end: usize,
+    is_test: bool,
+    inner: bool,
+}
+
 /// Reads an attribute starting at the `#` token; returns the index one
-/// past its closing `]` and whether it gates test-only code.
-fn read_attr(tokens: &[Token], start: usize) -> (usize, bool) {
+/// past its closing `]`, whether it gates test-only code, and whether
+/// it is an inner attribute.
+fn read_attr(tokens: &[Token], start: usize) -> Attr {
     let mut i = start + 1;
     let mut depth = 0usize;
+    let mut inner = false;
     let mut idents: Vec<&str> = Vec::new();
     while i < tokens.len() {
         match &tokens[i].kind {
+            TokenKind::Punct('!') if depth == 0 => inner = true,
             TokenKind::Punct('[') => depth += 1,
             TokenKind::Punct(']') => {
                 depth = depth.saturating_sub(1);
@@ -203,7 +292,11 @@ fn read_attr(tokens: &[Token], start: usize) -> (usize, bool) {
     }
     let has = |w: &str| idents.contains(&w);
     let is_test = (idents.as_slice() == ["test"]) || (has("cfg") && has("test") && !has("not"));
-    (i, is_test)
+    Attr {
+        end: i,
+        is_test,
+        inner,
+    }
 }
 
 /// Skips one item following a test attribute: any further attributes,
@@ -212,8 +305,7 @@ fn skip_item(tokens: &[Token], mut i: usize) -> usize {
     loop {
         match next_code(tokens, i) {
             Some(j) if is_attr_start(tokens, j) => {
-                let (end, _) = read_attr(tokens, j);
-                i = end;
+                i = read_attr(tokens, j).end;
             }
             _ => break,
         }
@@ -257,7 +349,9 @@ pub fn extract_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<RawFindi
         let Some(pos) = text.find(SUPPRESS_MARKER) else {
             continue;
         };
-        let directive = text[pos + SUPPRESS_MARKER.len()..].trim();
+        // Block comments keep their `*/` terminator in the token text.
+        let rest = &text[pos + SUPPRESS_MARKER.len()..];
+        let directive = rest.strip_suffix("*/").unwrap_or(rest).trim();
         match parse_allow(directive) {
             Ok((rule, reason)) => allows.push(Suppression {
                 rule,
@@ -379,19 +473,11 @@ pub fn scan_rules(crate_name: &str, code: &[Token]) -> Vec<RawFinding> {
                     });
                 }
             }
-            "HashMap" | "HashSet" if on("d2") => findings.push(RawFinding {
-                rule: "d2",
-                line,
-                message: format!(
-                    "{word} in a crate feeding ordered/serialized output; use \
-                     BTreeMap/BTreeSet or sort before iterating"
-                ),
-            }),
-            "Instant" | "SystemTime" if on("d3") => findings.push(RawFinding {
-                rule: "d3",
-                line,
-                message: format!("{word} in a deterministic path"),
-            }),
+            // `HashMap`/`HashSet` (d2/d7) and `Instant`/`SystemTime`
+            // (d3/d9) are no longer flagged on mere mention: the taint
+            // analyzer (crate::taint) decides whether the value escapes
+            // — lookup-only maps and elapsed-into-timing-metadata
+            // clocks are machine-verified clean.
             "thread_rng" | "from_entropy" if on("d3") => findings.push(RawFinding {
                 rule: "d3",
                 line,

@@ -1,8 +1,6 @@
-// mfpa-lint: allow(d2, "membership probe only; the map is never iterated")
 use std::collections::HashMap;
 
-pub fn seen(days: &[i64]) -> bool {
-    // mfpa-lint: allow(d2, "membership probe only; the map is never iterated")
-    let m: HashMap<i64, ()> = days.iter().map(|&d| (d, ())).collect();
-    m.contains_key(&0)
+pub fn tally(days: &HashMap<i64, usize>) -> Vec<(i64, usize)> {
+    // mfpa-lint: allow(d2, "order-insensitive downstream; the caller re-sorts the pairs")
+    days.iter().map(|(&d, &n)| (d, n)).collect()
 }

@@ -1,3 +1,5 @@
-pub fn tally(days: &[i64]) -> std::collections::HashMap<i64, usize> {
-    days.iter().map(|&d| (d, 1)).collect()
+use std::collections::HashMap;
+
+pub fn tally(days: &HashMap<i64, usize>) -> Vec<(i64, usize)> {
+    days.iter().map(|(&d, &n)| (d, n)).collect()
 }

@@ -1,0 +1,7 @@
+#![allow(dead_code)]
+//! Inner attributes: `#![...]` at file start is not a shebang.
+
+/// Returns the first reading.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Raw identifiers: `r#` escapes must lex as single identifier tokens.
+
+/// Adds the two knobs.
+pub fn describe(r#type: u32, r#loop: u32) -> u32 {
+    let r#match = r#type + r#loop;
+    r#match
+}
+
+/// Returns the first reading.
+pub fn fetch(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

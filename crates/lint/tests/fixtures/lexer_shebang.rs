@@ -1,0 +1,7 @@
+#!/usr/bin/env run-cargo-script
+//! Shebang: line 1 must lex as a comment, not punctuation soup.
+
+/// Returns the first reading.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

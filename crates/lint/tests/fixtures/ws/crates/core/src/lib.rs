@@ -1,0 +1,4 @@
+//! Fixture `core` crate for the interprocedural lint tests.
+
+pub mod pipeline;
+pub mod sanitize;

@@ -1,0 +1,14 @@
+//! Fixture pipeline: the declared root `prepare` reaches a leaf panic
+//! two calls down in `sanitize`.
+
+use crate::sanitize::clean;
+
+/// Pipeline façade mirroring `mfpa-core`.
+pub struct Mfpa;
+
+impl Mfpa {
+    /// Declared deterministic root (`pipeline::prepare`).
+    pub fn prepare(&self) -> u32 {
+        clean(&[1, 2, 3])
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture sanitize stage: `clean` delegates to a leaf whose panic
+//! path is only visible interprocedurally.
+
+/// Returns the first reading.
+pub fn clean(v: &[u32]) -> u32 {
+    leaf(v)
+}
+
+fn leaf(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

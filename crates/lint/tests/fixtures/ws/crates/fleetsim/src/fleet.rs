@@ -1,0 +1,35 @@
+//! Fixture fleet: the `generate` root reaches an unordered iteration
+//! and a clock escape; `orphan` is unreachable and stays lexical.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Fleet façade mirroring `mfpa-fleetsim`.
+pub struct SimulatedFleet;
+
+impl SimulatedFleet {
+    /// Declared deterministic root (`fleet::generate`).
+    pub fn generate() -> f64 {
+        let mut names = HashMap::new();
+        names.insert("alpha".to_owned(), 1u32);
+        let n = census(&names);
+        tick() + f64::from(n)
+    }
+}
+
+fn census(m: &HashMap<String, u32>) -> u32 {
+    let mut total = 0;
+    for (_name, v) in m {
+        total += v;
+    }
+    total
+}
+
+fn tick() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+fn orphan(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

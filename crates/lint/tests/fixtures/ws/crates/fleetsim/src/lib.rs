@@ -1,0 +1,3 @@
+//! Fixture `fleetsim` crate for the interprocedural lint tests.
+
+pub mod fleet;

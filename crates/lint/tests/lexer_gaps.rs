@@ -1,0 +1,46 @@
+//! Per-gap lexer fixtures: shebang lines, raw identifiers and inner
+//! attributes. Each fixture plants exactly one `unwrap()` after the
+//! tricky construct; the lint must report it at the exact line, which
+//! proves both that tokenization survives the construct and that line
+//! accounting is not shifted by it.
+
+use mfpa_lint::lint_source;
+
+fn single_d5_at(label: &str, src: &str, line: u32) {
+    let findings = lint_source("core", label, src);
+    let bad: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert_eq!(
+        bad.len(),
+        1,
+        "{label}: expected exactly one finding, got {findings:#?}"
+    );
+    assert_eq!(bad[0].rule, "d5", "{label}: wrong rule");
+    assert_eq!(bad[0].line, line, "{label}: wrong line");
+}
+
+#[test]
+fn shebang_line_lexes_as_a_comment() {
+    single_d5_at(
+        "crates/core/src/shebang.rs",
+        include_str!("fixtures/lexer_shebang.rs"),
+        6,
+    );
+}
+
+#[test]
+fn inner_attribute_at_file_start_is_not_a_shebang() {
+    single_d5_at(
+        "crates/core/src/inner_attr.rs",
+        include_str!("fixtures/lexer_inner_attr.rs"),
+        6,
+    );
+}
+
+#[test]
+fn raw_identifiers_lex_as_single_tokens() {
+    single_d5_at(
+        "crates/core/src/raw_idents.rs",
+        include_str!("fixtures/lexer_raw_idents.rs"),
+        11,
+    );
+}

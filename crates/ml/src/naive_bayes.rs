@@ -75,7 +75,7 @@ impl GaussianNb {
             .iter()
             .map(|&v| v.signum() * v.abs().ln_1p())
             .collect();
-        // mfpa-lint: allow(d5, "from_flat over a same-shape map of x cannot mismatch")
+        // mfpa-lint: allow(d8, "from_flat over a same-shape map of x cannot mismatch")
         std::borrow::Cow::Owned(Matrix::from_flat(data, x.n_cols()).expect("same shape"))
     }
 

@@ -568,7 +568,7 @@ impl DecisionTree {
             let mut small = Vec::with_capacity(n_features);
             let mut large = Vec::with_capacity(n_features);
             for (f, parent) in hists.iter().enumerate() {
-                // mfpa-lint: allow(d5, "hists holds one accumulated entry per feature by construction")
+                // mfpa-lint: allow(d8, "hists holds one accumulated entry per feature by construction")
                 let parent = parent.as_ref().expect("all features accumulated");
                 let child = Hist::accumulate(ctx, f, small_ix);
                 large.push(Some(child.sibling_from(parent)));
@@ -615,7 +615,7 @@ impl DecisionTree {
             if edges.is_empty() {
                 continue; // globally constant feature
             }
-            // mfpa-lint: allow(d5, "candidates are exactly the features accumulated into hists")
+            // mfpa-lint: allow(d8, "candidates are exactly the features accumulated into hists")
             let hist = hists[feature].as_ref().expect("candidate accumulated");
             let mut left_sum = 0.0;
             let mut left_cnt = 0u32;

@@ -67,6 +67,7 @@ impl Workers {
         if let Some(n) = env_threads() {
             return Workers::new(n);
         }
+        // mfpa-lint: allow(d9, "worker count only; every primitive here is thread-count-invariant by the ordered_map contract")
         Workers::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
     }
 
@@ -164,7 +165,7 @@ where
     });
     results
         .into_iter()
-        // mfpa-lint: allow(d5, "each scoped worker writes its own disjoint slot before join")
+        // mfpa-lint: allow(d8, "each scoped worker writes its own disjoint slot before join")
         .map(|slot| slot.expect("every slot filled by its chunk's worker"))
         .collect()
 }

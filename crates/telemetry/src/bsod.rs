@@ -115,13 +115,36 @@ impl BsodCode {
         BsodCode::ALL.iter().copied().find(|b| b.code() == code)
     }
 
-    /// Zero-based index into per-record count vectors.
+    /// Zero-based index into per-record count vectors. Total by
+    /// construction: the match mirrors the `ALL` order (locked by the
+    /// `index_roundtrips_through_all` test), so no table lookup — and
+    /// no panic path — is needed.
     pub fn index(self) -> usize {
-        BsodCode::ALL
-            .iter()
-            .position(|b| *b == self)
-            // mfpa-lint: allow(d5, "every BsodCode variant appears in the ALL const table")
-            .expect("code is a member of ALL")
+        match self {
+            BsodCode::B0x1E => 0,
+            BsodCode::B0x23 => 1,
+            BsodCode::B0x24 => 2,
+            BsodCode::B0x48 => 3,
+            BsodCode::B0x50 => 4,
+            BsodCode::B0x6B => 5,
+            BsodCode::B0x77 => 6,
+            BsodCode::B0x7A => 7,
+            BsodCode::B0x80 => 8,
+            BsodCode::B0x9B => 9,
+            BsodCode::B0xC7 => 10,
+            BsodCode::B0xDA => 11,
+            BsodCode::B0xE4 => 12,
+            BsodCode::B0xFC => 13,
+            BsodCode::B0x10C => 14,
+            BsodCode::B0x12C => 15,
+            BsodCode::B0x135 => 16,
+            BsodCode::B0x13B => 17,
+            BsodCode::B0x157 => 18,
+            BsodCode::B0x17E => 19,
+            BsodCode::B0x189 => 20,
+            BsodCode::B0x1DB => 21,
+            BsodCode::B0xC00 => 22,
+        }
     }
 
     /// The symbolic bug-check name.
@@ -219,5 +242,13 @@ mod tests {
     fn display_is_hex() {
         assert_eq!(BsodCode::B0x7A.to_string(), "B_7A");
         assert_eq!(BsodCode::B0x10C.to_string(), "B_10C");
+    }
+
+    #[test]
+    fn index_roundtrips_through_all() {
+        for (ix, code) in BsodCode::ALL.iter().enumerate() {
+            assert_eq!(code.index(), ix, "{code:?}");
+            assert_eq!(BsodCode::ALL[code.index()], *code);
+        }
     }
 }

@@ -300,13 +300,14 @@ impl DriveModel {
         "3D TLC"
     }
 
-    /// Zero-based index into [`DriveModel::ALL`].
+    /// Zero-based index into [`DriveModel::ALL`]. `ALL` is ordered by
+    /// vendor then ordinal, so the index is the models-per-vendor
+    /// prefix sum plus the 1-based ordinal within the vendor — total,
+    /// with no table scan or panic path (roundtrip locked by the
+    /// `index_roundtrips_through_all` test).
     pub fn index(&self) -> usize {
-        DriveModel::ALL
-            .iter()
-            .position(|m| m == self)
-            // mfpa-lint: allow(d5, "every DriveModel variant appears in the ALL const table")
-            .expect("model is a member of ALL")
+        let before: usize = MODELS_PER_VENDOR[..self.vendor.index()].iter().sum();
+        before + usize::from(self.ordinal).saturating_sub(1)
     }
 }
 
@@ -442,5 +443,13 @@ mod tests {
         let b = SerialNumber::new(Vendor::I, 2);
         assert!(a < b);
         assert!(a.to_string().starts_with("SSD-I-"));
+    }
+
+    #[test]
+    fn index_roundtrips_through_all() {
+        for (ix, m) in DriveModel::ALL.iter().enumerate() {
+            assert_eq!(m.index(), ix, "{m}");
+            assert_eq!(DriveModel::ALL[m.index()], *m);
+        }
     }
 }

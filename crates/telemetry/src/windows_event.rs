@@ -74,13 +74,22 @@ impl WindowsEventId {
         WindowsEventId::ALL.iter().copied().find(|e| e.id() == id)
     }
 
-    /// Zero-based index into per-record count vectors.
+    /// Zero-based index into per-record count vectors. Total by
+    /// construction: the match mirrors the `ALL` order (locked by the
+    /// `index_roundtrips_through_all` test), so no table lookup — and
+    /// no panic path — is needed.
     pub fn index(self) -> usize {
-        WindowsEventId::ALL
-            .iter()
-            .position(|e| *e == self)
-            // mfpa-lint: allow(d5, "every WindowsEventId variant appears in the ALL const table")
-            .expect("event is a member of ALL")
+        match self {
+            WindowsEventId::W7 => 0,
+            WindowsEventId::W11 => 1,
+            WindowsEventId::W15 => 2,
+            WindowsEventId::W49 => 3,
+            WindowsEventId::W51 => 4,
+            WindowsEventId::W52 => 5,
+            WindowsEventId::W154 => 6,
+            WindowsEventId::W157 => 7,
+            WindowsEventId::W161 => 8,
+        }
     }
 
     /// The event description from Table III.
@@ -142,5 +151,13 @@ mod tests {
     #[test]
     fn display_uses_paper_notation() {
         assert_eq!(WindowsEventId::W161.to_string(), "W_161");
+    }
+
+    #[test]
+    fn index_roundtrips_through_all() {
+        for (ix, ev) in WindowsEventId::ALL.iter().enumerate() {
+            assert_eq!(ev.index(), ix, "{ev:?}");
+            assert_eq!(WindowsEventId::ALL[ev.index()], *ev);
+        }
     }
 }

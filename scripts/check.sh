@@ -15,9 +15,34 @@ echo "== mfpa-lint (determinism rule catalog, DESIGN.md §8) =="
 cargo build --release -q -p mfpa-lint
 target/release/mfpa-lint
 
-echo "== mfpa-lint negative smoke: an injected violation must fail the gate =="
+echo "== mfpa-lint snapshot freshness: results/lint_report.json must match a fresh scan =="
+fresh_report="$(mktemp)"
+trap 'rm -f "$fresh_report"' EXIT
+target/release/mfpa-lint --report "$fresh_report" > /dev/null
+if ! diff -q results/lint_report.json "$fresh_report" > /dev/null; then
+    echo "error: results/lint_report.json is stale — run 'repro lint' and commit the diff" >&2
+    diff -u results/lint_report.json "$fresh_report" | head -40 >&2 || true
+    exit 1
+fi
+echo "snapshot is fresh"
+
+echo "== mfpa-lint fixture workspace: both output formats over tests/fixtures/ws =="
+fixture_ws="crates/lint/tests/fixtures/ws"
+for fmt in human json; do
+    # The fixture workspace contains planted violations; exit 1 is the
+    # expected outcome, anything else (0 = missed, 2 = crashed) fails.
+    status=0
+    target/release/mfpa-lint --root "$fixture_ws" --format "$fmt" > /dev/null || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "error: fixture workspace lint (--format $fmt) exited $status, expected 1" >&2
+        exit 1
+    fi
+done
+echo "fixture violations reported in both formats"
+
+echo "== mfpa-lint negative smoke: injected violations must fail the gate =="
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+trap 'rm -rf "$smoke_dir" "$fresh_report"' EXIT
 mkdir -p "$smoke_dir/crates/core/src"
 printf '[workspace]\nmembers = []\n' > "$smoke_dir/Cargo.toml"
 printf 'pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n' \
@@ -26,7 +51,19 @@ if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
     echo "error: mfpa-lint did not flag an injected unwrap()" >&2
     exit 1
 fi
-echo "injected violation caught, as expected"
+cat > "$smoke_dir/crates/core/src/deploy.rs" <<'RS'
+use std::collections::HashMap;
+
+pub fn score_fleet(scores: &HashMap<String, f64>) -> Vec<f64> {
+    scores.values().cloned().collect()
+}
+RS
+rm "$smoke_dir/crates/core/src/lib.rs"
+if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
+    echo "error: mfpa-lint did not flag HashMap iteration reaching score_fleet (d7)" >&2
+    exit 1
+fi
+echo "injected violations caught, as expected"
 
 echo "== criterion smoke: histogram vs exact split search (1 sample) =="
 MFPA_BENCH_SAMPLES=1 cargo bench -p mfpa-bench --bench models -- hist

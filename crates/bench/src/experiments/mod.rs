@@ -9,6 +9,7 @@ mod perf;
 mod precursors;
 mod robustness;
 mod scale;
+mod serve;
 mod tune;
 
 use crate::ctx::Ctx;
@@ -171,6 +172,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "perf",
             title: "Perf: stage trajectory, histogram vs exact split search",
             run: perf::perf,
+        },
+        Experiment {
+            id: "serve",
+            title: "Serve: sharded fleet monitor, transport faults, crash recovery",
+            run: serve::serve,
         },
     ]
 }

@@ -45,33 +45,45 @@ use crate::sanitize::{page_violation, QuarantineCause, SanitizeConfig, SanitizeR
 /// ```
 #[derive(Debug, Clone)]
 pub struct DriveMonitor {
-    serial: SerialNumber,
-    firmware: FirmwareVersion,
-    w_cum: [u64; 5],
-    b_cum: [u64; 23],
-    last_day: Option<DayStamp>,
-    sanitize_cfg: SanitizeConfig,
+    // Fields are crate-visible so the fleet monitor's checkpoint codec
+    // ([`crate::checkpoint`]) can snapshot and restore a monitor
+    // bit-for-bit without an intermediate copy.
+    pub(crate) serial: SerialNumber,
+    pub(crate) firmware: FirmwareVersion,
+    pub(crate) w_cum: [u64; 5],
+    pub(crate) b_cum: [u64; 23],
+    pub(crate) last_day: Option<DayStamp>,
+    pub(crate) sanitize_cfg: SanitizeConfig,
     // Last accepted (repaired) SMART page: NaN carry-forward source.
-    last_smart: Option<[f64; 16]>,
+    pub(crate) last_smart: Option<[f64; 16]>,
     // Rollover base offsets per cumulative attribute.
-    smart_offsets: [f64; 16],
+    pub(crate) smart_offsets: [f64; 16],
     // Row returned for the last accepted day — replayed for exact
     // duplicate deliveries so retransmissions are idempotent.
-    last_row: Vec<f64>,
-    report: SanitizeReport,
+    pub(crate) last_row: Vec<f64>,
+    pub(crate) report: SanitizeReport,
 }
 
 impl DriveMonitor {
     /// Creates a monitor for one drive, with the default online
     /// sanitization policy.
     pub fn new(serial: SerialNumber, firmware: FirmwareVersion) -> Self {
+        DriveMonitor::with_sanitize(serial, firmware, SanitizeConfig::default())
+    }
+
+    /// Creates a monitor with an explicit online sanitization policy.
+    pub fn with_sanitize(
+        serial: SerialNumber,
+        firmware: FirmwareVersion,
+        sanitize_cfg: SanitizeConfig,
+    ) -> Self {
         DriveMonitor {
             serial,
             firmware,
             w_cum: [0; 5],
             b_cum: [0; 23],
             last_day: None,
-            sanitize_cfg: SanitizeConfig::default(),
+            sanitize_cfg,
             last_smart: None,
             smart_offsets: [0.0; 16],
             last_row: Vec::new(),

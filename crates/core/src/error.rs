@@ -38,6 +38,36 @@ pub enum CoreError {
         /// What was wrong with it.
         cause: QuarantineCause,
     },
+    /// A drive is quarantined by the fleet monitor: its records
+    /// repeatedly failed sanitization and deliveries are being dropped
+    /// until the readmission tick (or forever, when the drive exhausted
+    /// its readmission strikes).
+    QuarantinedDrive {
+        /// The quarantined drive.
+        serial: SerialNumber,
+        /// The shard holding the drive's monitor state.
+        shard: usize,
+        /// First tick at which a readmission probe will be accepted;
+        /// `None` means the quarantine is permanent.
+        until_tick: Option<u64>,
+    },
+    /// A checkpoint file failed validation (bad magic, truncation,
+    /// checksum mismatch, or an incompatible shard layout) and was
+    /// refused — corrupt state must never be loaded.
+    CheckpointCorrupt {
+        /// The offending checkpoint file.
+        path: String,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A batch routed more records to one shard than its bounded queue
+    /// admits, under the strict (non-shedding) overflow policy.
+    ShardOverflow {
+        /// The overflowing shard.
+        shard: usize,
+        /// Records beyond the shard's queue capacity.
+        dropped: usize,
+    },
     /// A model shape was used where it cannot work (e.g. a sequence
     /// model handed single rows).
     UnsupportedModel(String),
@@ -64,6 +94,27 @@ impl fmt::Display for CoreError {
             CoreError::CorruptRecord { serial, day, cause } => {
                 write!(f, "corrupt record for {serial} on day {day}: {cause}")
             }
+            CoreError::QuarantinedDrive {
+                serial,
+                shard,
+                until_tick,
+            } => match until_tick {
+                Some(t) => write!(
+                    f,
+                    "drive {serial} is quarantined on shard {shard} until tick {t}"
+                ),
+                None => write!(
+                    f,
+                    "drive {serial} is permanently quarantined on shard {shard}"
+                ),
+            },
+            CoreError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint {path} rejected: {detail}")
+            }
+            CoreError::ShardOverflow { shard, dropped } => write!(
+                f,
+                "shard {shard} queue overflow: {dropped} records beyond capacity"
+            ),
             CoreError::UnsupportedModel(msg) => write!(f, "unsupported model: {msg}"),
             CoreError::Dataset(msg) => write!(f, "dataset error: {msg}"),
             CoreError::Model(msg) => write!(f, "model error: {msg}"),
@@ -127,6 +178,39 @@ mod tests {
                 cause: QuarantineCause::SentinelReset,
             }
         );
+    }
+
+    #[test]
+    fn fleet_monitor_variants_carry_structure() {
+        use mfpa_telemetry::Vendor;
+        let serial = SerialNumber::new(Vendor::II, 9);
+        let e = CoreError::QuarantinedDrive {
+            serial,
+            shard: 3,
+            until_tick: Some(40),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("shard 3") && msg.contains("tick 40"), "{msg}");
+        let e = CoreError::QuarantinedDrive {
+            serial,
+            shard: 3,
+            until_tick: None,
+        };
+        assert!(e.to_string().contains("permanently"), "{e}");
+        let e = CoreError::CheckpointCorrupt {
+            path: "ckpt-7.mfpa".into(),
+            detail: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("ckpt-7.mfpa") && msg.contains("checksum"),
+            "{msg}"
+        );
+        let e = CoreError::ShardOverflow {
+            shard: 1,
+            dropped: 17,
+        };
+        assert!(e.to_string().contains("17"), "{e}");
     }
 
     #[test]

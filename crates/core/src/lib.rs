@@ -47,9 +47,11 @@
 
 mod algorithms;
 pub mod baselines;
+pub mod checkpoint;
 pub mod deploy;
 mod error;
 mod features;
+pub mod fleet_monitor;
 pub mod labeling;
 mod pipeline;
 pub mod preprocess;
@@ -60,6 +62,10 @@ pub mod windows;
 pub use algorithms::Algorithm;
 pub use error::CoreError;
 pub use features::{FeatureGroup, FeatureId};
+pub use fleet_monitor::{
+    BatchOutcome, CheckpointOutcome, FleetMonitor, FleetMonitorConfig, FleetScore, QuarantineInfo,
+    ShardReport, SweepOutcome,
+};
 pub use pipeline::{CvStrategy, Mfpa, MfpaConfig, SplitStrategy, TrainedMfpa};
 pub use report::{EvalReport, MetricSet, StageTimings};
 pub use sanitize::{QuarantineCause, SanitizeConfig, SanitizeReport};

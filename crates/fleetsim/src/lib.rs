@@ -50,9 +50,11 @@ pub mod events;
 pub mod faults;
 mod fleet;
 pub mod hazard;
+pub mod replay;
 pub mod tickets;
 pub mod usage;
 
 pub use config::{FaultConfig, FleetConfig, STUDY_DAYS};
 pub use faults::FaultCounts;
 pub use fleet::{FailureRecord, FailureTruth, SimulatedDrive, SimulatedFleet, VendorStats};
+pub use replay::{ArrivalEvent, TransportFaultConfig, TransportFaultCounts};

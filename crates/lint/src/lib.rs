@@ -52,6 +52,8 @@ pub const ROOT_SPECS: &[&str] = &[
     "pipeline::prepare",
     "deploy::score_fleet",
     "DriveMonitor::ingest",
+    "FleetMonitor::ingest_batch",
+    "checkpoint::restore",
     "fleet::generate",
     "Classifier::fit",
     "Classifier::predict_proba",

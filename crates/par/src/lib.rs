@@ -170,6 +170,58 @@ where
         .collect()
 }
 
+/// In-place variant of [`ordered_map`]: applies `f(index, &mut item)`
+/// to every item with up to `workers` scoped threads and returns the
+/// per-item results in input order.
+///
+/// This is the primitive for sharded mutable state (one worker owns a
+/// contiguous run of shards for the duration of the call): each item is
+/// visited exactly once, by exactly one worker, with its **global**
+/// index, so both the mutations and the returned vector are
+/// bit-identical to the serial loop at any worker count. The closure is
+/// `Fn`, not `FnMut` — any cross-item state would reintroduce
+/// chunk-layout dependence.
+pub fn ordered_map_mut<T, R, F>(items: &mut [T], workers: Workers, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let len = items.len();
+    let n_workers = workers.get().min(len);
+    if n_workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(len, || None);
+    let chunk_len = len.div_ceil(n_workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // Item and result chunks are split identically, so the base
+        // accumulated from actual chunk lengths stays in lockstep.
+        let mut base = 0usize;
+        for (item_chunk, slot_chunk) in items
+            .chunks_mut(chunk_len)
+            .zip(results.chunks_mut(chunk_len))
+        {
+            let chunk_base = base;
+            base += item_chunk.len();
+            scope.spawn(move || {
+                for (offset, (item, slot)) in
+                    item_chunk.iter_mut().zip(slot_chunk.iter_mut()).enumerate()
+                {
+                    *slot = Some(f(chunk_base + offset, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        // mfpa-lint: allow(d8, "each scoped worker fills its own disjoint slot before join")
+        .map(|slot| slot.expect("every slot filled by its chunk's worker"))
+        .collect()
+}
+
 /// Parallel map followed by a **serial, in-order** left fold of the
 /// mapped values: `fold(.. fold(fold(init, f(0, &items[0])), f(1,
 /// &items[1])) ..)`.
@@ -226,6 +278,47 @@ mod tests {
         let items = vec![0u8; 10];
         let ixs = ordered_map(&items, Workers::new(4), |i, _| i);
         assert_eq!(ixs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_map_mut_matches_serial_at_every_width() {
+        let reference: Vec<u64> = {
+            let mut items: Vec<u64> = (0..257).collect();
+            let rs: Vec<u64> = items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, x)| {
+                    *x = x.wrapping_mul(7).wrapping_add(i as u64);
+                    *x ^ 0x5555
+                })
+                .collect();
+            items.extend(rs);
+            items
+        };
+        for n in [1, 2, 3, 7, 16, 300] {
+            let mut items: Vec<u64> = (0..257).collect();
+            let rs = ordered_map_mut(&mut items, Workers::new(n), |i, x| {
+                *x = x.wrapping_mul(7).wrapping_add(i as u64);
+                *x ^ 0x5555
+            });
+            items.extend(rs);
+            assert_eq!(items, reference, "n_threads = {n}");
+        }
+    }
+
+    #[test]
+    fn ordered_map_mut_handles_empty_and_uneven() {
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(ordered_map_mut(&mut empty, Workers::new(4), |_, x| *x).is_empty());
+        // 10 items over 4 workers: tail chunk's global indices must not
+        // shift (same invariant as ordered_map).
+        let mut items = vec![0usize; 10];
+        let ixs = ordered_map_mut(&mut items, Workers::new(4), |i, x| {
+            *x = i;
+            i
+        });
+        assert_eq!(ixs, (0..10).collect::<Vec<_>>());
+        assert_eq!(items, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

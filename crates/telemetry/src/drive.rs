@@ -356,6 +356,23 @@ impl SerialNumber {
     pub fn id(self) -> u64 {
         self.id
     }
+
+    /// Deterministic shard assignment for a monitor sharded `n_shards`
+    /// ways: a SplitMix64-style finalizer over `(vendor, id)` reduced
+    /// modulo `n_shards`. Every layer that routes by drive — the online
+    /// fleet monitor, shard-targeted transport-fault injection — must
+    /// use this one function so "shard" means the same drive set
+    /// everywhere. `n_shards = 0` is treated as 1.
+    pub fn shard(self, n_shards: usize) -> usize {
+        let mut z = self
+            .id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((self.vendor.index() as u64) + 1) << 58);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % (n_shards.max(1) as u64)) as usize
+    }
 }
 
 impl fmt::Display for SerialNumber {
@@ -367,6 +384,25 @@ impl fmt::Display for SerialNumber {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_covers_all_shards() {
+        let n = 8;
+        let mut seen = vec![false; n];
+        for id in 0..500u64 {
+            for vendor in Vendor::ALL {
+                let s = SerialNumber::new(vendor, id);
+                let shard = s.shard(n);
+                assert!(shard < n);
+                assert_eq!(shard, s.shard(n), "assignment must be pure");
+                seen[shard] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "500 drives must hit all 8 shards");
+        // Degenerate shard counts collapse to one shard, not a panic.
+        assert_eq!(SerialNumber::new(Vendor::I, 3).shard(0), 0);
+        assert_eq!(SerialNumber::new(Vendor::I, 3).shard(1), 0);
+    }
 
     #[test]
     fn twelve_models_partitioned_by_vendor() {

@@ -68,6 +68,32 @@ echo "injected violations caught, as expected"
 echo "== criterion smoke: histogram vs exact split search (1 sample) =="
 MFPA_BENCH_SAMPLES=1 cargo bench -p mfpa-bench --bench models -- hist
 
+echo "== repro serve smoke: replay + crash recovery at reduced scale =="
+# The serve experiment asserts the fault-tolerance contract internally
+# (kill-and-restore bit-identity, quarantine of poison drives, refusal
+# of a bit-flipped checkpoint); any violation panics. Run from a temp
+# cwd so the committed BENCH_PR6.json is not overwritten.
+cargo build --release -q -p mfpa-bench
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fresh_report" "$serve_dir"' EXIT
+(cd "$serve_dir" && "$OLDPWD/target/release/repro" serve --fraction 0.004 --horizon 120 > serve.log 2>&1) || {
+    echo "error: repro serve smoke failed" >&2
+    tail -30 "$serve_dir/serve.log" >&2
+    exit 1
+}
+for must in "replay is bit-identical" "bit-flipped checkpoint refused"; do
+    if ! grep -q "$must" "$serve_dir/serve.log"; then
+        echo "error: serve smoke output is missing \"$must\"" >&2
+        exit 1
+    fi
+done
+echo "serve smoke passed (recovery bit-identical, corrupt checkpoint refused)"
+
+echo "== crash-recovery equivalence gate (every batch boundary) =="
+cargo test --release -q -p mfpa-suite --test fleet_monitor -- \
+    kill_and_restore_is_bit_identical_at_every_batch_boundary \
+    corrupted_checkpoints_are_always_refused
+
 # The workspace runs below include the exact<->binned parity proptests
 # (crates/ml/tests/binned_parity.rs) at both worker counts.
 echo "== cargo test (workspace, MFPA_THREADS=1) =="

@@ -128,6 +128,18 @@ impl DriveMonitor {
     ///   (sentinel page, out-of-range value, or missing attributes with
     ///   no history to impute from).
     pub fn ingest(&mut self, record: &DailyRecord) -> Result<Vec<f64>, CoreError> {
+        self.ingest_ref(record).map(<[f64]>::to_vec)
+    }
+
+    /// [`DriveMonitor::ingest`] without the row copy: returns a borrow
+    /// of the monitor's internal row buffer, which is overwritten by
+    /// the next accepted record. This is the allocation-free hot path
+    /// used by the fleet-wide scoring sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DriveMonitor::ingest`].
+    pub fn ingest_ref(&mut self, record: &DailyRecord) -> Result<&[f64], CoreError> {
         self.report.input_records += 1;
         let reference_capacity = self
             .last_smart
@@ -148,7 +160,7 @@ impl DriveMonitor {
             if record.day == last {
                 // Duplicate delivery of the current day: idempotent.
                 self.report.duplicates_collapsed += 1;
-                return Ok(self.last_row.clone());
+                return Ok(&self.last_row);
             }
             if record.day < last {
                 self.report.quarantined_late += 1;
@@ -211,14 +223,23 @@ impl DriveMonitor {
         }
         self.report.kept_records += 1;
 
-        let mut row = Vec::with_capacity(45);
-        row.extend(smart);
-        row.push(self.firmware.encoded());
-        row.extend(self.w_cum.iter().map(|&v| v as f64));
-        row.extend(self.b_cum.iter().map(|&v| v as f64));
-        debug_assert_eq!(row.len(), FeatureId::full_row().len());
-        self.last_row = row.clone();
-        Ok(row)
+        // Rebuild the row in place. After the first accepted record the
+        // buffer is full-width, so this is straight slice stores — no
+        // allocation, no length bookkeeping per record.
+        if self.last_row.len() != 45 {
+            self.last_row.resize(45, 0.0);
+        }
+        let row = &mut self.last_row[..45];
+        row[..16].copy_from_slice(&smart);
+        row[16] = self.firmware.encoded();
+        for (slot, &v) in row[17..22].iter_mut().zip(&self.w_cum) {
+            *slot = v as f64;
+        }
+        for (slot, &v) in row[22..45].iter_mut().zip(&self.b_cum) {
+            *slot = v as f64;
+        }
+        debug_assert_eq!(self.last_row.len(), FeatureId::full_row().len());
+        Ok(&self.last_row)
     }
 
     /// Ingests one record and scores it with a trained flat-feature MFPA
@@ -287,6 +308,13 @@ pub fn score_fleet(
             "score_fleet scores flat models; sequence models need windowed input".into(),
         ));
     }
+    // Serving-grade path: when the model carries a compiled engine
+    // (the `MfpaConfig::compile` knob or `TrainedMfpa::compile`), each
+    // drive's accepted rows stream through an incremental sequential
+    // scorer. Probabilities are bit-identical to the interpreted path.
+    if let Some(compiled) = trained.compiled() {
+        return score_fleet_compiled(drives, trained, compiled, n_threads);
+    }
     let results = ordered_map(
         drives,
         Workers::from_config(n_threads),
@@ -316,6 +344,104 @@ pub fn score_fleet(
         },
     );
     results.into_iter().collect()
+}
+
+/// Which of the model's selected features are non-decreasing over one
+/// drive's accepted record stream. Cumulative SMART counters (the
+/// rollover splice enforces the monotonicity online), Windows-event and
+/// BSOD counters qualify; firmware encoding and gauge attributes do
+/// not. This is a performance hint for [`mfpa_ml::SequentialScorer`] — it
+/// re-verifies per record, so a wrong entry costs speed, never
+/// correctness.
+fn monotone_mask(features: &[FeatureId]) -> Vec<bool> {
+    features
+        .iter()
+        .map(|f| match f {
+            FeatureId::Smart(attr) => attr.is_cumulative(),
+            FeatureId::Firmware => false,
+            FeatureId::WinEventCum(_) | FeatureId::BsodCum(_) => true,
+        })
+        .collect()
+}
+
+/// The compiled [`score_fleet`] arm: replays each drive allocation-free
+/// ([`DriveMonitor::ingest_ref`]), gathers the model's selected columns
+/// and scores the stream with [`mfpa_ml::SequentialScorer`]. Per-drive work is
+/// self-contained, so scores stay bit-identical at any worker count.
+fn score_fleet_compiled(
+    drives: &[SimulatedDrive],
+    trained: &TrainedMfpa,
+    compiled: &mfpa_ml::CompiledEnsemble,
+    n_threads: usize,
+) -> Result<Vec<DriveScore>, CoreError> {
+    let monotone = monotone_mask(trained.features());
+    let selected: Vec<usize> = trained
+        .features()
+        .iter()
+        .map(FeatureId::full_index)
+        .collect();
+    // Full-width feature groups select every column in order; the
+    // gather then degenerates to a memcpy of the monitor's row.
+    let identity = selected.iter().enumerate().all(|(k, &i)| k == i);
+    let workers = Workers::from_config(n_threads);
+    // Chunk the fleet so each worker amortizes one scorer (and its
+    // row/probability buffers) across many drives. Per-drive scoring is
+    // self-contained — `SequentialScorer::reset` drops every bit of
+    // cross-drive state — so the chunk layout cannot leak into scores.
+    let ranges = mfpa_par::chunk_ranges(drives.len(), workers.get().max(1) * 4);
+    let per_chunk = ordered_map(
+        &ranges,
+        workers,
+        |_, range| -> Result<Vec<DriveScore>, CoreError> {
+            let mut scorer = compiled.sequential(&monotone)?;
+            let mut rows: Vec<f64> = Vec::with_capacity(selected.len() * 256);
+            let mut probs: Vec<f64> = Vec::with_capacity(256);
+            let mut scores = Vec::with_capacity(range.len());
+            for drive in &drives[range.clone()] {
+                let mut monitor = DriveMonitor::new(drive.serial(), drive.firmware().clone());
+                rows.clear();
+                let mut n_scored = 0usize;
+                for record in drive.raw_records() {
+                    match monitor.ingest_ref(record) {
+                        Ok(full) => {
+                            if identity {
+                                rows.extend_from_slice(&full[..selected.len()]);
+                            } else {
+                                rows.extend(selected.iter().map(|&i| full[i]));
+                            }
+                            n_scored += 1;
+                        }
+                        Err(
+                            CoreError::CorruptRecord { .. } | CoreError::OutOfOrderRecord { .. },
+                        ) => {}
+                        Err(other) => return Err(other),
+                    }
+                }
+                scorer.reset();
+                probs.clear();
+                scorer.score_rows(&rows, &mut probs)?;
+                let mut max_score = 0.0f64;
+                let mut last_score = 0.0f64;
+                for &p in &probs {
+                    max_score = max_score.max(p);
+                    last_score = p;
+                }
+                scores.push(DriveScore {
+                    serial: drive.serial(),
+                    max_score,
+                    last_score,
+                    n_scored,
+                    report: *monitor.sanitize_report(),
+                });
+            }
+            Ok(scores)
+        },
+    );
+    let mut out = Vec::with_capacity(drives.len());
+    for chunk in per_chunk {
+        out.extend(chunk?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -87,6 +87,12 @@ pub struct MfpaConfig {
     /// Per-feature bin budget for the tree ensembles' histogram split
     /// search (`0` = the exact re-sorting path).
     pub max_bins: usize,
+    /// Compile the fitted ensemble into a flat scoring engine right
+    /// after training ([`mfpa_ml::CompiledEnsemble`]). Scores are
+    /// bit-identical to the interpreted model; this is purely a serving
+    /// throughput knob. Ignored by model families without a compiled
+    /// form.
+    pub compile: bool,
 }
 
 impl MfpaConfig {
@@ -111,6 +117,7 @@ impl MfpaConfig {
             seed: 17,
             n_threads: 0,
             max_bins: 256,
+            compile: false,
         }
     }
 
@@ -141,6 +148,12 @@ impl MfpaConfig {
     /// Sets the tree ensembles' histogram bin budget (`0` = exact path).
     pub fn with_max_bins(mut self, n: usize) -> Self {
         self.max_bins = n;
+        self
+    }
+
+    /// Enables post-fit compilation of tree ensembles for serving.
+    pub fn with_compile(mut self, compile: bool) -> Self {
+        self.compile = compile;
         self
     }
 
@@ -460,15 +473,20 @@ impl Mfpa {
         })?;
         let train_secs = t0.elapsed().as_secs_f64();
 
-        Ok(TrainedMfpa {
+        let mut trained = TrainedMfpa {
             model,
+            compiled: None,
             features,
             uses_seq,
             seq_len: self.config.window.seq_len,
             threshold: self.config.threshold,
             train_secs,
             n_train_rows: kept.len(),
-        })
+        };
+        if self.config.compile {
+            trained.compile();
+        }
+        Ok(trained)
     }
 
     /// Runs the whole pipeline: prepare, split, train, evaluate.
@@ -506,6 +524,10 @@ impl Mfpa {
 /// A trained model plus everything needed to score new rows.
 pub struct TrainedMfpa {
     model: Box<dyn Classifier>,
+    /// Flat scoring engine compiled from `model` (tree ensembles only);
+    /// when present, batch scoring routes through it. Probabilities are
+    /// bit-identical either way.
+    compiled: Option<mfpa_ml::CompiledEnsemble>,
     features: Vec<FeatureId>,
     uses_seq: bool,
     seq_len: usize,
@@ -518,6 +540,7 @@ impl std::fmt::Debug for TrainedMfpa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TrainedMfpa")
             .field("model", &self.model.name())
+            .field("compiled", &self.compiled.is_some())
             .field("n_features", &self.features.len())
             .field("uses_seq", &self.uses_seq)
             .field("threshold", &self.threshold)
@@ -539,6 +562,54 @@ impl TrainedMfpa {
     /// Whether the model consumes sequence windows instead of flat rows.
     pub fn uses_sequence(&self) -> bool {
         self.uses_seq
+    }
+
+    /// Compiles the trained model into a flat scoring engine
+    /// ([`mfpa_ml::CompiledEnsemble`]). A no-op when already compiled
+    /// or when the model family has no compiled form (everything except
+    /// the tree ensembles). Returns whether a compiled engine is now
+    /// present.
+    pub fn compile(&mut self) -> bool {
+        if self.compiled.is_none() {
+            self.compiled = self.model.compile();
+        }
+        self.compiled.is_some()
+    }
+
+    /// The compiled scoring engine, if [`TrainedMfpa::compile`] (or the
+    /// [`MfpaConfig::compile`] knob) produced one.
+    pub fn compiled(&self) -> Option<&mfpa_ml::CompiledEnsemble> {
+        self.compiled.as_ref()
+    }
+
+    /// Serializes the compiled engine to its `.mfpac` artifact bytes,
+    /// if one is present. Pair with
+    /// [`TrainedMfpa::install_compiled_artifact`] on the monitor side.
+    pub fn compiled_artifact(&self) -> Option<Vec<u8>> {
+        self.compiled
+            .as_ref()
+            .map(mfpa_ml::CompiledEnsemble::to_bytes)
+    }
+
+    /// Installs a compiled engine decoded from `.mfpac` artifact bytes:
+    /// the monitor-process path that picks up a pushed model without
+    /// refitting. Every scoring sweep after this reuses the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Model`] when the artifact is corrupt or truncated,
+    /// or disagrees with this model's feature width.
+    pub fn install_compiled_artifact(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+        let engine = mfpa_ml::CompiledEnsemble::from_bytes(bytes).map_err(CoreError::from)?;
+        if engine.n_features() != self.features.len() {
+            return Err(CoreError::Model(format!(
+                "compiled artifact expects {} features, model selects {}",
+                engine.n_features(),
+                self.features.len()
+            )));
+        }
+        self.compiled = Some(engine);
+        Ok(())
     }
 
     /// Seconds spent fitting.
@@ -564,7 +635,7 @@ impl TrainedMfpa {
         };
         let cols = col_indices(&self.features, self.uses_seq, self.seq_len);
         let sub = frame.select_rows(rows).select_cols(&cols);
-        Ok(self.model.predict_proba(sub.matrix())?)
+        self.predict_matrix(sub.matrix())
     }
 
     /// Scores a raw feature matrix whose columns are already the model's
@@ -574,7 +645,12 @@ impl TrainedMfpa {
     ///
     /// Propagates model prediction errors.
     pub fn predict_matrix(&self, x: &Matrix) -> Result<Vec<f64>, CoreError> {
-        Ok(self.model.predict_proba(x)?)
+        // Chokepoint: every batch-scoring path in the crate lands here,
+        // so a compiled engine accelerates them all at once.
+        match &self.compiled {
+            Some(c) => Ok(c.predict_proba(x)?),
+            None => Ok(self.model.predict_proba(x)?),
+        }
     }
 
     /// Evaluates the given rows at both sample and drive granularity.

@@ -57,6 +57,8 @@ pub const ROOT_SPECS: &[&str] = &[
     "fleet::generate",
     "Classifier::fit",
     "Classifier::predict_proba",
+    "CompiledEnsemble::predict_proba",
+    "SequentialScorer::score_rows",
 ];
 
 /// The snapshot/JSON schema version. Bumped to 2 when findings gained

@@ -1,0 +1,1447 @@
+//! Post-fit compilation of tree ensembles into a flat scoring engine.
+//!
+//! [`CompiledEnsemble`] flattens the pointer-linked trees of a fitted
+//! [`crate::RandomForest`] or [`crate::Gbdt`] into breadth-first
+//! structure-of-arrays node blocks, quantizes thresholds to `u8` bin
+//! cuts where a feature's threshold set fits 255 edges (byte compares
+//! on the hot path, with an `f64` raw-threshold fallback lane
+//! otherwise), and scores rows in blocks one tree-level at a time.
+//! Probabilities are bit-identical to the interpreted
+//! `predict_proba` of the source model: node routing uses the exact
+//! `value <= threshold` comparisons (the quantized code compare is
+//! provably equivalent, see [`Lane`]), and per-row accumulation runs
+//! in the same tree order with the same operations.
+//!
+//! Two scoring paths are exposed:
+//!
+//! - [`CompiledEnsemble::predict_proba`]: batch scoring of a [`Matrix`],
+//!   blocks of [`DENSE_BLOCK`] rows distributed over
+//!   [`mfpa_par::ordered_collect`] — bit-identical at any worker count.
+//! - [`SequentialScorer`]: incremental per-device scoring for telemetry
+//!   streams, exploiting two structural facts of monitoring data: most
+//!   features rarely change between consecutive records of one device,
+//!   and cumulative counters never decrease. A tree is re-evaluated
+//!   only when a comparison outcome on its current root-to-leaf path
+//!   can have changed; otherwise its cached leaf is reused. Reuse is
+//!   only taken when every comparison outcome is provably unchanged, so
+//!   the scores are bit-identical to the batch path at any change rate.
+//!
+//! The compiled form serializes to a hand-rolled little-endian
+//! `.mfpac` artifact with an FNV-1a-64 footer and a truncation-safe
+//! decoder (same codec discipline as `core::checkpoint`), so a monitor
+//! process can load a model without refitting.
+
+use mfpa_dataset::Matrix;
+use mfpa_par::{ordered_collect, Workers};
+
+use crate::error::MlError;
+use crate::gbdt::sigmoid;
+use crate::model::Classifier;
+use crate::tree::{DecisionTree, LEAF};
+
+/// Rows per block in the batch (dense) kernel. 64 rows of one feature
+/// column are eight 64-byte cache lines; a whole block of 45 features
+/// stays L1-resident while every tree level sweeps it.
+pub const DENSE_BLOCK: usize = 64;
+
+/// Rows per block in the sequential scorer. The ordered per-tree
+/// accumulation is a dependent FMA chain; vectorizing it across 16 rows
+/// amortizes the chain latency while the per-tree leaf timeline scratch
+/// stays tiny.
+const SEQ_BLOCK: usize = 16;
+
+/// Maximum quantized edges per feature; codes and cuts are `u8`.
+const MAX_EDGES: usize = 255;
+
+/// How a feature's thresholds are represented on the hot path.
+///
+/// For a `Quantized` feature, `edges` is the sorted, deduplicated set
+/// of every split threshold the ensemble uses on that feature. A raw
+/// value maps to the code `#{e in edges : e < v}` (NaN maps past the
+/// end), and a node's threshold `t` — itself an edge — to the cut
+/// `#{e : e < t}`. Then `code(v) <= cut ⟺ v <= t` *exactly*: every
+/// edge below `v` is below `t` iff `v <= t`, so byte compares route
+/// rows identically to the raw `f64` compares, NaN included.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lane {
+    /// Hot path compares raw `f64` values against node thresholds.
+    /// Chosen when a feature has more than 255 distinct thresholds or a
+    /// NaN threshold (unrepresentable as a cut).
+    Raw,
+    /// Hot path compares `u8` bin codes against node cuts; `edges` maps
+    /// values to codes.
+    Quantized(Vec<f64>),
+}
+
+/// Ensemble-specific reduction from per-tree leaf sums to a probability.
+#[derive(Debug, Clone, PartialEq)]
+enum Finalize {
+    /// Random forest: mean leaf probability, clamped to `[0, 1]`.
+    RfMean,
+    /// GBDT: `sigmoid(base_score + Σ learning_rate · leaf)`.
+    GbdtLogistic { base_score: f64, learning_rate: f64 },
+}
+
+/// A fitted tree ensemble flattened for serving-grade scoring.
+///
+/// Nodes of all trees live in shared structure-of-arrays storage in
+/// per-tree breadth-first order: a node's children are adjacent
+/// (`right == left + 1`), each level is a contiguous block, and the
+/// hot arrays (`feat`, `cut`, `left`) pack 16–64 nodes per cache line.
+///
+/// Build one with [`Classifier::compile`] on a fitted
+/// [`crate::RandomForest`] or [`crate::Gbdt`].
+#[derive(Debug, Clone)]
+pub struct CompiledEnsemble {
+    n_features: usize,
+    /// Split feature per node, or [`LEAF`].
+    feat: Vec<u32>,
+    /// Raw split threshold per node (always populated).
+    thr: Vec<f64>,
+    /// Quantized cut per node (valid when the feature's lane is
+    /// [`Lane::Quantized`]).
+    cut: Vec<u8>,
+    /// 1 if this node compares codes, 0 if it compares raw values.
+    qflag: Vec<u8>,
+    /// Absolute index of the left child; the right child is `left + 1`.
+    left: Vec<u32>,
+    /// Leaf value (valid when `feat == LEAF`).
+    value: Vec<f64>,
+    /// Root node index per tree, ascending; node range of tree `t` is
+    /// `tree_roots[t]..tree_roots[t + 1]` (with an implicit final bound
+    /// of `feat.len()`).
+    tree_roots: Vec<u32>,
+    /// Height of each tree (a lone leaf has depth 0).
+    tree_depths: Vec<u32>,
+    lanes: Vec<Lane>,
+    finalize: Finalize,
+    n_threads: usize,
+}
+
+impl CompiledEnsemble {
+    /// Compiles GBDT round trees; returns `None` if any tree is empty.
+    pub(crate) fn from_gbdt(
+        trees: &[DecisionTree],
+        n_features: usize,
+        base_score: f64,
+        learning_rate: f64,
+        n_threads: usize,
+    ) -> Option<Self> {
+        Self::from_trees(
+            trees,
+            n_features,
+            Finalize::GbdtLogistic {
+                base_score,
+                learning_rate,
+            },
+            n_threads,
+        )
+    }
+
+    /// Compiles random-forest trees; returns `None` if any tree is empty.
+    pub(crate) fn from_forest(
+        trees: &[DecisionTree],
+        n_features: usize,
+        n_threads: usize,
+    ) -> Option<Self> {
+        Self::from_trees(trees, n_features, Finalize::RfMean, n_threads)
+    }
+
+    fn from_trees(
+        trees: &[DecisionTree],
+        n_features: usize,
+        finalize: Finalize,
+        n_threads: usize,
+    ) -> Option<Self> {
+        if trees.is_empty() || trees.iter().any(|t| t.nodes().is_empty()) {
+            return None;
+        }
+        let total: usize = trees.iter().map(|t| t.nodes().len()).sum();
+        if total >= u32::MAX as usize {
+            return None;
+        }
+        let mut ens = CompiledEnsemble {
+            n_features,
+            feat: Vec::with_capacity(total),
+            thr: Vec::with_capacity(total),
+            cut: vec![0; total],
+            qflag: vec![0; total],
+            left: Vec::with_capacity(total),
+            value: Vec::with_capacity(total),
+            tree_roots: Vec::with_capacity(trees.len()),
+            tree_depths: Vec::with_capacity(trees.len()),
+            lanes: Vec::new(),
+            finalize,
+            n_threads: n_threads.max(1),
+        };
+        // Breadth-first flatten, one tree at a time. `order` holds the
+        // original node index of each emitted slot; children are
+        // enqueued together so they land adjacent.
+        let mut order: Vec<u32> = Vec::new();
+        let mut new_left: Vec<u32> = Vec::new();
+        for tree in trees {
+            let nodes = tree.nodes();
+            let base = ens.feat.len();
+            ens.tree_roots.push(u32::try_from(base).ok()?);
+            ens.tree_depths.push(u32::try_from(tree.depth()).ok()?);
+            order.clear();
+            new_left.clear();
+            order.push(0);
+            let mut i = 0usize;
+            while i < order.len() {
+                let n = &nodes[order[i] as usize];
+                if n.feature == LEAF {
+                    new_left.push(0);
+                } else {
+                    let child = u32::try_from(base + order.len()).ok()?;
+                    new_left.push(child);
+                    order.push(n.left);
+                    order.push(n.right);
+                }
+                i += 1;
+            }
+            for (slot, &orig) in order.iter().enumerate() {
+                let n = &nodes[orig as usize];
+                ens.feat.push(n.feature);
+                ens.thr.push(n.threshold);
+                ens.left.push(new_left[slot]);
+                ens.value.push(n.value);
+                if n.feature != LEAF && n.feature as usize >= n_features {
+                    return None;
+                }
+            }
+        }
+        ens.build_lanes();
+        Some(ens)
+    }
+
+    /// Derives per-feature quantization lanes from the union of node
+    /// thresholds and fills in node cuts.
+    fn build_lanes(&mut self) {
+        let mut per_feat: Vec<Vec<f64>> = vec![Vec::new(); self.n_features];
+        for i in 0..self.feat.len() {
+            if self.feat[i] != LEAF {
+                per_feat[self.feat[i] as usize].push(self.thr[i]);
+            }
+        }
+        self.lanes = per_feat
+            .into_iter()
+            .map(|mut thrs| {
+                if thrs.is_empty() || thrs.iter().any(|t| t.is_nan()) {
+                    return Lane::Raw;
+                }
+                thrs.sort_by(f64::total_cmp);
+                // Numeric dedup also collapses -0.0/0.0: routing by
+                // either representative is numerically identical.
+                thrs.dedup_by(|a, b| a == b);
+                if thrs.len() > MAX_EDGES {
+                    Lane::Raw
+                } else {
+                    Lane::Quantized(thrs)
+                }
+            })
+            .collect();
+        for i in 0..self.feat.len() {
+            if self.feat[i] == LEAF {
+                continue;
+            }
+            if let Lane::Quantized(edges) = &self.lanes[self.feat[i] as usize] {
+                let c = edges.partition_point(|&e| e < self.thr[i]);
+                debug_assert!(c < edges.len() && edges[c] == self.thr[i]);
+                self.cut[i] = u8::try_from(c).unwrap_or(u8::MAX);
+                self.qflag[i] = 1;
+            }
+        }
+    }
+
+    /// Limits worker threads for [`CompiledEnsemble::predict_proba`].
+    /// Output is bit-identical at any width.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.n_threads = n.max(1);
+        self
+    }
+
+    /// Number of trees in the compiled ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.tree_roots.len()
+    }
+
+    /// Total flattened nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feat.len()
+    }
+
+    /// Feature-space width the source model was fitted with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Per-feature threshold lanes (mainly for inspection/tests).
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Node range of tree `t`.
+    fn tree_range(&self, t: usize) -> (usize, usize) {
+        let start = self.tree_roots[t] as usize;
+        let end = self
+            .tree_roots
+            .get(t + 1)
+            .map_or(self.feat.len(), |&r| r as usize);
+        (start, end)
+    }
+
+    /// Maps a raw value to its bin code for a quantized feature.
+    #[inline]
+    fn code(edges: &[f64], v: f64) -> u8 {
+        if v.is_nan() {
+            // Past every cut: NaN fails `v <= t` for all t, so it must
+            // route right at every node.
+            u8::try_from(edges.len()).unwrap_or(u8::MAX)
+        } else {
+            u8::try_from(edges.partition_point(|&e| e < v)).unwrap_or(u8::MAX)
+        }
+    }
+
+    /// Scores one block of rows (row-major `rows`, `bl` rows), writing
+    /// probabilities to `out`. Bit-identical to the interpreted path:
+    /// same routing, same per-row accumulation order.
+    // `!(v <= thr)` is the routing predicate itself: NaN values (and
+    // NaN thresholds on the raw lane) must route right, exactly like
+    // the interpreted walk. A positive rewrite would drop the NaN arm.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn score_block(&self, x: &Matrix, row0: usize, bl: usize, out: &mut Vec<f64>) {
+        debug_assert!(bl <= DENSE_BLOCK);
+        let nf = self.n_features;
+        // Transpose the block to feature-major and bin quantized lanes
+        // once; every tree level then sweeps contiguous L1-resident
+        // columns.
+        let mut cols = vec![0.0f64; nf * bl];
+        let mut codes = vec![0u8; nf * bl];
+        for k in 0..bl {
+            let row = x.row(row0 + k);
+            for f in 0..nf {
+                cols[f * bl + k] = row[f];
+            }
+        }
+        for f in 0..nf {
+            if let Lane::Quantized(edges) = &self.lanes[f] {
+                let col = &cols[f * bl..(f + 1) * bl];
+                let out = &mut codes[f * bl..(f + 1) * bl];
+                for k in 0..bl {
+                    out[k] = Self::code(edges, col[k]);
+                }
+            }
+        }
+        let (init, shrink) = match self.finalize {
+            Finalize::RfMean => (0.0, None),
+            Finalize::GbdtLogistic {
+                base_score,
+                learning_rate,
+            } => (base_score, Some(learning_rate)),
+        };
+        let mut acc = [0.0f64; DENSE_BLOCK];
+        let mut idx = [0u32; DENSE_BLOCK];
+        acc[..bl].fill(init);
+        for t in 0..self.n_trees() {
+            let (root, _) = self.tree_range(t);
+            let root = u32::try_from(root).unwrap_or(u32::MAX);
+            idx[..bl].fill(root);
+            // One tree level at a time; rows already at a leaf stay put.
+            for _ in 0..self.tree_depths[t] {
+                for k in 0..bl {
+                    let ix = idx[k] as usize;
+                    let f = self.feat[ix];
+                    if f == LEAF {
+                        continue;
+                    }
+                    let f = f as usize;
+                    let go_right = if self.qflag[ix] == 1 {
+                        codes[f * bl + k] > self.cut[ix]
+                    } else {
+                        !(cols[f * bl + k] <= self.thr[ix])
+                    };
+                    idx[k] = self.left[ix] + u32::from(go_right);
+                }
+            }
+            match shrink {
+                Some(lr) => {
+                    for k in 0..bl {
+                        acc[k] += lr * self.value[idx[k] as usize];
+                    }
+                }
+                None => {
+                    for k in 0..bl {
+                        acc[k] += self.value[idx[k] as usize];
+                    }
+                }
+            }
+        }
+        self.push_finalized(&acc[..bl], out);
+    }
+
+    /// Applies the ensemble reduction to raw accumulator sums.
+    fn push_finalized(&self, acc: &[f64], out: &mut Vec<f64>) {
+        out.extend(acc.iter().map(|&s| self.finalize_one(s)));
+    }
+
+    /// Predicts positive-class probabilities for each row of `x`,
+    /// bit-identical to the source model's interpreted
+    /// [`Classifier::predict_proba`] at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::FeatureMismatch`] if the width differs from training.
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if x.n_cols() != self.n_features {
+            return Err(MlError::FeatureMismatch {
+                expected: self.n_features,
+                actual: x.n_cols(),
+            });
+        }
+        let n = x.n_rows();
+        let n_blocks = n.div_ceil(DENSE_BLOCK);
+        // Blocks are scored independently and reassembled in index
+        // order, so the result is bit-identical at any MFPA_THREADS.
+        let blocks = ordered_collect(n_blocks, Workers::new(self.n_threads), |b| {
+            let row0 = b * DENSE_BLOCK;
+            let bl = DENSE_BLOCK.min(n - row0);
+            let mut out = Vec::with_capacity(bl);
+            self.score_block(x, row0, bl, &mut out);
+            out
+        });
+        Ok(blocks.into_iter().flatten().collect())
+    }
+
+    /// Creates an incremental per-device scorer. `monotone[f]` marks
+    /// features that never decrease over one device's record stream
+    /// (cumulative counters); this is a performance hint only — the
+    /// scorer verifies it per record and falls back to full
+    /// re-evaluation on any violation, so scores stay bit-identical
+    /// even if the hint is wrong.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::InvalidParameter`] if `monotone` has the wrong length
+    /// or the feature space exceeds 64 columns (mask width).
+    pub fn sequential(&self, monotone: &[bool]) -> Result<SequentialScorer<'_>, MlError> {
+        if monotone.len() != self.n_features {
+            return Err(MlError::InvalidParameter(format!(
+                "monotone mask has {} entries for {} features",
+                monotone.len(),
+                self.n_features
+            )));
+        }
+        if self.n_features > 64 {
+            return Err(MlError::InvalidParameter(format!(
+                "sequential scorer supports at most 64 features, got {}",
+                self.n_features
+            )));
+        }
+        let mut mask = 0u64;
+        for (f, &m) in monotone.iter().enumerate() {
+            if m {
+                mask |= 1u64 << f;
+            }
+        }
+        let n_trees = self.n_trees();
+        Ok(SequentialScorer {
+            ens: self,
+            monotone: mask,
+            cur_leaf: vec![0.0; n_trees],
+            gen: vec![0; n_trees],
+            evaled_at: vec![0; n_trees],
+            heaps_left: vec![Vec::new(); self.n_features],
+            heaps_right: vec![Vec::new(); self.n_features],
+            trig_left: vec![f64::INFINITY; self.n_features],
+            trig_right: vec![f64::NEG_INFINITY; self.n_features],
+            watch_cap: 64 + 2 * self.feat.iter().filter(|&&f| f != LEAF).count(),
+            prev_row: vec![0.0; self.n_features],
+            started: false,
+            rec_counter: 0,
+            block_fresh: true,
+            last_prob: 0.0,
+            leaves_start: vec![0.0; n_trees],
+            patches: Vec::new(),
+        })
+    }
+
+    /// Applies the ensemble reduction to one raw accumulator sum —
+    /// the exact per-row operations of the interpreted path.
+    #[inline]
+    fn finalize_one(&self, s: f64) -> f64 {
+        match self.finalize {
+            Finalize::RfMean => {
+                let k = self.n_trees() as f64;
+                (s / k).clamp(0.0, 1.0)
+            }
+            Finalize::GbdtLogistic { .. } => sigmoid(s),
+        }
+    }
+}
+
+impl Classifier for CompiledEnsemble {
+    fn fit(&mut self, _x: &Matrix, _y: &[bool]) -> Result<(), MlError> {
+        Err(MlError::InvalidParameter(
+            "compiled ensembles are immutable; refit the source model and recompile".to_owned(),
+        ))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        CompiledEnsemble::predict_proba(self, x)
+    }
+
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+
+    fn compile(&self) -> Option<CompiledEnsemble> {
+        Some(self.clone())
+    }
+}
+
+/// A watched path comparison: when the feature's value crosses `thr`
+/// (in the direction the owning heap tracks), the owning tree's cached
+/// path is invalidated.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    thr: f64,
+    tree: u32,
+    gen: u32,
+}
+
+/// A within-block leaf change: tree `tree` produces `v` from row `r`
+/// (block-relative) onward.
+#[derive(Debug, Clone, Copy)]
+struct Patch {
+    tree: u32,
+    r: u32,
+    v: f64,
+}
+
+/// Incremental scorer over one device's chronologically ordered rows.
+///
+/// Caches each tree's current leaf and re-evaluates a tree only when a
+/// comparison on its current root-to-leaf path actually flips. Every
+/// active path comparison is registered in a per-feature heap keyed by
+/// its threshold:
+///
+/// - Left-routing comparisons (`v <= t`) sit in a min-heap; they flip
+///   exactly when the feature value first exceeds `t`, so only the
+///   heap top needs checking per record.
+/// - Right-routing comparisons (`v > t`) sit in a max-heap; they flip
+///   exactly when the value drops back to `<= t`. Right-routing
+///   comparisons on a monotone (non-decreasing) feature can never flip
+///   and are not watched at all.
+///
+/// A feature whose bits change without crossing any watched threshold
+/// costs two heap peeks — nothing is re-evaluated. If a
+/// monotone-marked feature ever decreases, or any changed feature
+/// moves to or from NaN, every tree is re-evaluated for that record —
+/// correctness never depends on the hint. Scores are bit-identical to
+/// [`CompiledEnsemble::predict_proba`] row by row.
+#[derive(Debug)]
+pub struct SequentialScorer<'a> {
+    ens: &'a CompiledEnsemble,
+    monotone: u64,
+    /// Cached leaf value per tree.
+    cur_leaf: Vec<f64>,
+    /// Bumped on every re-evaluation; stale heap entries are skipped.
+    gen: Vec<u32>,
+    /// Global record counter at each tree's last re-evaluation
+    /// (dedups multiple invalidations within one record).
+    evaled_at: Vec<u64>,
+    /// Per-feature min-heaps over left-routing path comparisons.
+    heaps_left: Vec<Vec<Watch>>,
+    /// Per-feature max-heaps over right-routing path comparisons
+    /// (non-monotone features only).
+    heaps_right: Vec<Vec<Watch>>,
+    /// Flat per-feature trigger thresholds mirroring the heap tops
+    /// (`+∞`/`-∞` when empty): the per-record hot path compares the
+    /// incoming value against these two arrays and touches a heap only
+    /// when a watched comparison has actually flipped. Values may be
+    /// stale-conservative (a stale top triggers a harmless pop-and-skip)
+    /// but never miss a live flip.
+    trig_left: Vec<f64>,
+    trig_right: Vec<f64>,
+    /// Heap length that triggers a stale-entry compaction: at most
+    /// one watch per internal node is ever live, so anything beyond
+    /// that is dead weight from superseded re-evaluations.
+    watch_cap: usize,
+    prev_row: Vec<f64>,
+    started: bool,
+    rec_counter: u64,
+    /// True until the first re-evaluation of the current block copies
+    /// `cur_leaf` into `leaves_start`; blocks with no re-evaluations
+    /// skip the copy (and the whole reduction).
+    block_fresh: bool,
+    /// Probability of the most recently scored row. Rows whose leaf
+    /// vector is unchanged reuse it verbatim — same leaves, same
+    /// ordered sum, same bits.
+    last_prob: f64,
+    leaves_start: Vec<f64>,
+    patches: Vec<Patch>,
+}
+
+impl SequentialScorer<'_> {
+    /// Starts a new device stream: drops all cached state.
+    pub fn reset(&mut self) {
+        self.started = false;
+        self.clear_heaps();
+    }
+
+    fn clear_heaps(&mut self) {
+        for h in &mut self.heaps_left {
+            h.clear();
+        }
+        for h in &mut self.heaps_right {
+            h.clear();
+        }
+        self.trig_left.fill(f64::INFINITY);
+        self.trig_right.fill(f64::NEG_INFINITY);
+    }
+
+    /// Scores a device's rows (row-major, chronological), appending one
+    /// probability per row to `out`. Call [`SequentialScorer::reset`]
+    /// between devices.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::FeatureMismatch`] if `rows` is not a whole number of
+    /// feature rows.
+    pub fn score_rows(&mut self, rows: &[f64], out: &mut Vec<f64>) -> Result<(), MlError> {
+        let nf = self.ens.n_features;
+        if nf == 0 || !rows.len().is_multiple_of(nf) {
+            return Err(MlError::FeatureMismatch {
+                expected: nf,
+                actual: rows.len() % nf.max(1),
+            });
+        }
+        let n = rows.len() / nf;
+        for b0 in (0..n).step_by(SEQ_BLOCK) {
+            let bl = SEQ_BLOCK.min(n - b0);
+            self.block_fresh = true;
+            self.patches.clear();
+            for r in 0..bl {
+                let row = &rows[(b0 + r) * nf..(b0 + r + 1) * nf];
+                self.advance(row, u32::try_from(r).unwrap_or(u32::MAX));
+            }
+            self.reduce_block(bl, out);
+        }
+        Ok(())
+    }
+
+    /// Processes one record: detects feature changes, invalidates and
+    /// re-evaluates affected trees, records leaf patches.
+    // The negated comparisons are deliberate: a NaN watch threshold
+    // (raw lane) means the node's routing can never flip, and
+    // `!(w.thr < v)` / `!(w.thr >= v)` keep such watches parked in
+    // their heaps instead of popping them on the NaN arm.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn advance(&mut self, row: &[f64], r: u32) {
+        self.rec_counter += 1;
+        if !self.started {
+            self.started = true;
+            self.prime(row);
+            self.prev_row.copy_from_slice(row);
+            return;
+        }
+        // Branchless bitwise diff: the compiler vectorizes this into
+        // packed compares, so the full-width scan costs a few ns
+        // regardless of how many features changed.
+        let mut changed = 0u64;
+        for (f, (&a, &b)) in self.prev_row.iter().zip(row).enumerate() {
+            changed |= u64::from(a.to_bits() != b.to_bits()) << f;
+        }
+        if changed == 0 {
+            // Identical record: every cached leaf (and `prev_row`)
+            // still holds, so the row costs only the scan above.
+            return;
+        }
+        // One pass over the changed features classifies each as
+        // hint-breaking (`bad`: NaN involved, or a monotone-marked
+        // feature decreased — the no-watch-on-right argument dies) or
+        // as actually crossing a watched threshold (`need`). Features
+        // that changed without reaching their triggers cost two f64
+        // compares and no heap traffic.
+        let mut bad = false;
+        let mut need = 0u64;
+        let mut m = changed;
+        while m != 0 {
+            let f = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let b = row[f];
+            let a = self.prev_row[f];
+            if b.is_nan() || a.is_nan() || (self.monotone >> f) & 1 != 0 && !(b >= a) {
+                bad = true;
+                break;
+            }
+            if b > self.trig_left[f] || b <= self.trig_right[f] {
+                need |= 1u64 << f;
+            }
+        }
+        if bad {
+            self.dirty_all(row, r);
+        } else {
+            let mut m = need;
+            while m != 0 {
+                let f = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let v = row[f];
+                // Left-routing `v <= thr` flips once v exceeds thr.
+                // Watches pushed by re-evaluations inside this loop
+                // reflect the *current* row's routing, so they can
+                // never flip for this record and the loop terminates.
+                while let Some(w) = heap_peek(&self.heaps_left[f]) {
+                    if !(w.thr < v) {
+                        break;
+                    }
+                    let w = heap_pop_min(&mut self.heaps_left[f]);
+                    // Stale if the tree re-evaluated since the push.
+                    if self.gen[w.tree as usize] == w.gen {
+                        self.reeval(w.tree as usize, row, r);
+                    }
+                }
+                self.trig_left[f] = heap_peek(&self.heaps_left[f]).map_or(f64::INFINITY, |w| w.thr);
+                // Right-routing `v > thr` flips once v drops back
+                // to <= thr.
+                while let Some(w) = heap_peek(&self.heaps_right[f]) {
+                    if !(w.thr >= v) {
+                        break;
+                    }
+                    let w = heap_pop_max(&mut self.heaps_right[f]);
+                    if self.gen[w.tree as usize] == w.gen {
+                        self.reeval(w.tree as usize, row, r);
+                    }
+                }
+                self.trig_right[f] =
+                    heap_peek(&self.heaps_right[f]).map_or(f64::NEG_INFINITY, |w| w.thr);
+            }
+        }
+        self.prev_row.copy_from_slice(row);
+    }
+
+    /// Evaluates every tree on the first record of a stream, seeding
+    /// the leaf cache and path watches. No patches are recorded: the
+    /// row's probability is computed here directly — same tree order,
+    /// same per-tree operations as the interpreted path — and parked in
+    /// `last_prob` for [`SequentialScorer::reduce_block`] to emit.
+    fn prime(&mut self, row: &[f64]) {
+        self.clear_heaps();
+        let ens = self.ens;
+        let (mut s, shrink) = match ens.finalize {
+            Finalize::RfMean => (0.0, None),
+            Finalize::GbdtLogistic {
+                base_score,
+                learning_rate,
+            } => (base_score, Some(learning_rate)),
+        };
+        // Watches are appended raw and heapified per touched feature
+        // afterwards: O(n) total instead of a sift-up per push.
+        let mut touched = 0u64;
+        for t in 0..self.cur_leaf.len() {
+            self.evaled_at[t] = self.rec_counter;
+            self.gen[t] = self.gen[t].wrapping_add(1);
+            let t32 = u32::try_from(t).unwrap_or(u32::MAX);
+            let g = self.gen[t];
+            let mut ix = ens.tree_roots[t] as usize;
+            loop {
+                let f = ens.feat[ix];
+                if f == LEAF {
+                    break;
+                }
+                let fi = f as usize;
+                let thr = ens.thr[ix];
+                let v = row[fi];
+                let go_left = v <= thr;
+                if go_left {
+                    self.heaps_left[fi].push(Watch {
+                        thr,
+                        tree: t32,
+                        gen: g,
+                    });
+                    touched |= 1u64 << fi;
+                } else if self.monotone & (1u64 << fi) == 0 && !thr.is_nan() && !v.is_nan() {
+                    self.heaps_right[fi].push(Watch {
+                        thr,
+                        tree: t32,
+                        gen: g,
+                    });
+                    touched |= 1u64 << fi;
+                }
+                ix = ens.left[ix] as usize + usize::from(!go_left);
+            }
+            let v = ens.value[ix];
+            self.cur_leaf[t] = v;
+            s += match shrink {
+                Some(lr) => lr * v,
+                None => v,
+            };
+        }
+        while touched != 0 {
+            let f = touched.trailing_zeros() as usize;
+            touched &= touched - 1;
+            let hl = &mut self.heaps_left[f];
+            for i in (0..hl.len() / 2).rev() {
+                sift_down(hl, i, false);
+            }
+            self.trig_left[f] = heap_peek(hl).map_or(f64::INFINITY, |w| w.thr);
+            let hr = &mut self.heaps_right[f];
+            for i in (0..hr.len() / 2).rev() {
+                sift_down(hr, i, true);
+            }
+            self.trig_right[f] = heap_peek(hr).map_or(f64::NEG_INFINITY, |w| w.thr);
+        }
+        self.last_prob = ens.finalize_one(s);
+    }
+
+    /// Re-evaluates every tree (hint violation mid-stream).
+    fn dirty_all(&mut self, row: &[f64], r: u32) {
+        // Every watch is about to be re-pushed by the re-evaluations;
+        // dropping the old entries keeps the heaps from accumulating
+        // stale ones across repeated fallbacks.
+        self.clear_heaps();
+        for t in 0..self.cur_leaf.len() {
+            self.reeval(t, row, r);
+        }
+    }
+
+    /// Re-traverses tree `t` on `row`, refreshing its cached leaf and
+    /// path watches, and recording a block patch if the leaf value
+    /// actually changed (identical bits mean an identical ordered sum,
+    /// so an unchanged leaf needs no patch).
+    fn reeval(&mut self, t: usize, row: &[f64], r: u32) {
+        if self.evaled_at[t] == self.rec_counter {
+            return;
+        }
+        self.evaled_at[t] = self.rec_counter;
+        self.gen[t] = self.gen[t].wrapping_add(1);
+        if self.block_fresh {
+            // Lazily snapshot the leaves as of the block start; blocks
+            // where nothing re-evaluates never pay the copy.
+            self.leaves_start.copy_from_slice(&self.cur_leaf);
+            self.block_fresh = false;
+        }
+        let v = self.traverse(t, row);
+        if v.to_bits() != self.cur_leaf[t].to_bits() {
+            self.cur_leaf[t] = v;
+            self.patches.push(Patch {
+                tree: u32::try_from(t).unwrap_or(u32::MAX),
+                r,
+                v,
+            });
+        }
+    }
+
+    /// Walks tree `t`'s root-to-leaf path on `row`, registering a watch
+    /// (and maintaining the flat trigger mirrors) for every comparison
+    /// that could flip, and returns the leaf value.
+    fn traverse(&mut self, t: usize, row: &[f64]) -> f64 {
+        let ens = self.ens;
+        let t32 = u32::try_from(t).unwrap_or(u32::MAX);
+        let g = self.gen[t];
+        let mut ix = ens.tree_roots[t] as usize;
+        loop {
+            let f = ens.feat[ix];
+            if f == LEAF {
+                break;
+            }
+            let fi = f as usize;
+            let thr = ens.thr[ix];
+            let v = row[fi];
+            let go_left = v <= thr;
+            let w = Watch {
+                thr,
+                tree: t32,
+                gen: g,
+            };
+            if go_left {
+                // `v <= thr` flips exactly when v first exceeds thr.
+                // (thr is never NaN here: NaN fails `v <= thr`.)
+                let h = &mut self.heaps_left[fi];
+                if h.len() >= self.watch_cap {
+                    compact_heap(h, &self.gen, false);
+                }
+                heap_push_min(h, w);
+                if thr < self.trig_left[fi] {
+                    self.trig_left[fi] = thr;
+                }
+            } else if self.monotone & (1u64 << fi) == 0 && !thr.is_nan() && !v.is_nan() {
+                // `v > thr` flips exactly when v drops back to <= thr.
+                // Right-routing on a non-decreasing feature is
+                // permanent; a NaN threshold compares false forever;
+                // a NaN value is handled by the dirty-all fallback.
+                let h = &mut self.heaps_right[fi];
+                if h.len() >= self.watch_cap {
+                    compact_heap(h, &self.gen, true);
+                }
+                heap_push_max(h, w);
+                if thr > self.trig_right[fi] {
+                    self.trig_right[fi] = thr;
+                }
+            }
+            ix = ens.left[ix] as usize + usize::from(!go_left);
+        }
+        ens.value[ix]
+    }
+
+    /// Emits the block's probabilities. Rows on which no leaf changed
+    /// reuse the previous row's probability verbatim (identical leaf
+    /// vector ⇒ identical ordered sum ⇒ identical bits); only "change
+    /// rows" — those carrying at least one patch — run the full
+    /// tree-ordered accumulation, in dedicated SIMD lanes. Accumulation
+    /// order and operations match the interpreted path exactly.
+    fn reduce_block(&mut self, bl: usize, out: &mut Vec<f64>) {
+        if self.patches.is_empty() {
+            // Nothing changed anywhere in the block.
+            out.resize(out.len() + bl, self.last_prob);
+            return;
+        }
+        let ens = self.ens;
+        let (init, shrink) = match ens.finalize {
+            Finalize::RfMean => (0.0, None),
+            Finalize::GbdtLogistic {
+                base_score,
+                learning_rate,
+            } => (base_score, Some(learning_rate)),
+        };
+        // Lane k holds the k-th change row's accumulator. Unused lanes
+        // compute garbage that is never read; fixed-width loops let the
+        // compiler vectorize without a runtime bound.
+        let mut rows_mask = 0u32;
+        for p in &self.patches {
+            rows_mask |= 1u32 << p.r;
+        }
+        let mut acc = [init; SEQ_BLOCK];
+        let mut scratch = [0.0f64; SEQ_BLOCK];
+        self.patches.sort_unstable_by_key(|p| (p.tree, p.r));
+        let mut pi = 0usize;
+        for t in 0..ens.n_trees() {
+            let t32 = u32::try_from(t).unwrap_or(u32::MAX);
+            if pi < self.patches.len() && self.patches[pi].tree == t32 {
+                // Fill this tree's lane values: walk the change rows in
+                // ascending order, folding in the tree's patches as
+                // their rows are passed.
+                let mut v = self.leaves_start[t];
+                let mut m = rows_mask;
+                let mut li = 0usize;
+                while m != 0 {
+                    let r = m.trailing_zeros();
+                    m &= m - 1;
+                    while pi < self.patches.len()
+                        && self.patches[pi].tree == t32
+                        && self.patches[pi].r <= r
+                    {
+                        v = self.patches[pi].v;
+                        pi += 1;
+                    }
+                    scratch[li] = v;
+                    li += 1;
+                }
+                match shrink {
+                    Some(lr) => {
+                        for k in 0..SEQ_BLOCK {
+                            acc[k] += lr * scratch[k];
+                        }
+                    }
+                    None => {
+                        for k in 0..SEQ_BLOCK {
+                            acc[k] += scratch[k];
+                        }
+                    }
+                }
+            } else {
+                // `lr * leaf` computed once is the same product the
+                // per-row loop would compute each time — identical bits.
+                let term = match shrink {
+                    Some(lr) => lr * self.leaves_start[t],
+                    None => self.leaves_start[t],
+                };
+                for a in &mut acc {
+                    *a += term;
+                }
+            }
+        }
+        let mut li = 0usize;
+        let mut m = rows_mask;
+        let mut next_change = m.trailing_zeros();
+        for r in 0..u32::try_from(bl).unwrap_or(u32::MAX) {
+            if r == next_change {
+                self.last_prob = ens.finalize_one(acc[li]);
+                li += 1;
+                m &= m - 1;
+                next_change = if m == 0 { u32::MAX } else { m.trailing_zeros() };
+            }
+            out.push(self.last_prob);
+        }
+    }
+}
+
+/// Min-heap (by threshold) primitives over a plain `Vec`. Thresholds
+/// are never NaN (NaN thresholds route right unconditionally and are
+/// never watched), so plain `<` is a total order here.
+fn heap_peek(h: &[Watch]) -> Option<Watch> {
+    h.first().copied()
+}
+
+fn heap_push_min(h: &mut Vec<Watch>, w: Watch) {
+    h.push(w);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if h[i].thr < h[parent].thr {
+            h.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_pop_min(h: &mut Vec<Watch>) -> Watch {
+    let top = h[0];
+    let last = h.len() - 1;
+    h.swap(0, last);
+    h.truncate(last);
+    let mut i = 0usize;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut min = i;
+        if l < h.len() && h[l].thr < h[min].thr {
+            min = l;
+        }
+        if r < h.len() && h[r].thr < h[min].thr {
+            min = r;
+        }
+        if min == i {
+            break;
+        }
+        h.swap(i, min);
+        i = min;
+    }
+    top
+}
+
+/// Drops stale watches (superseded by a later re-evaluation of their
+/// tree) and restores the heap property. Amortized O(1) per push when
+/// triggered by `watch_cap`, since live entries are bounded by the
+/// internal node count.
+fn compact_heap(h: &mut Vec<Watch>, gen: &[u32], max: bool) {
+    h.retain(|w| gen.get(w.tree as usize).copied() == Some(w.gen));
+    for i in (0..h.len() / 2).rev() {
+        sift_down(h, i, max);
+    }
+}
+
+fn sift_down(h: &mut [Watch], mut i: usize, max: bool) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let better = |a: f64, b: f64| if max { a > b } else { a < b };
+        let mut best = i;
+        if l < h.len() && better(h[l].thr, h[best].thr) {
+            best = l;
+        }
+        if r < h.len() && better(h[r].thr, h[best].thr) {
+            best = r;
+        }
+        if best == i {
+            break;
+        }
+        h.swap(i, best);
+        i = best;
+    }
+}
+
+fn heap_push_max(h: &mut Vec<Watch>, w: Watch) {
+    h.push(w);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if h[i].thr > h[parent].thr {
+            h.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_pop_max(h: &mut Vec<Watch>) -> Watch {
+    let top = h[0];
+    let last = h.len() - 1;
+    h.swap(0, last);
+    h.truncate(last);
+    let mut i = 0usize;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut max = i;
+        if l < h.len() && h[l].thr > h[max].thr {
+            max = l;
+        }
+        if r < h.len() && h[r].thr > h[max].thr {
+            max = r;
+        }
+        if max == i {
+            break;
+        }
+        h.swap(i, max);
+        i = max;
+    }
+    top
+}
+
+// --- .mfpac artifact codec ---------------------------------------------
+
+/// `.mfpac` magic: "MFPC" as a little-endian u32.
+const MFPAC_MAGIC: u32 = 0x4350_464D;
+/// Artifact format version.
+const MFPAC_VERSION: u32 = 1;
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Bounds-checked little-endian reader; every overrun is a structured
+/// [`MlError::CorruptArtifact`], never a panic.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MlError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.b.len());
+        match end {
+            Some(end) => {
+                let s = &self.b[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(MlError::CorruptArtifact(
+                "unexpected end of artifact".to_owned(),
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, MlError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, MlError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, MlError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, MlError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> MlError {
+    MlError::CorruptArtifact(msg.into())
+}
+
+impl CompiledEnsemble {
+    /// Serializes to the little-endian `.mfpac` format: header, node
+    /// arrays, FNV-1a-64 footer over everything before it. Quantization
+    /// lanes are not stored — they derive deterministically from the
+    /// node thresholds and are rebuilt on load.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n_nodes = self.feat.len();
+        let mut out = Vec::with_capacity(64 + n_nodes * 25 + self.tree_roots.len() * 8);
+        out.extend(MFPAC_MAGIC.to_le_bytes());
+        out.extend(MFPAC_VERSION.to_le_bytes());
+        out.extend((self.n_features as u64).to_le_bytes());
+        out.extend((self.tree_roots.len() as u64).to_le_bytes());
+        out.extend((n_nodes as u64).to_le_bytes());
+        match self.finalize {
+            Finalize::RfMean => {
+                out.push(0);
+                out.extend(0u64.to_le_bytes());
+                out.extend(0u64.to_le_bytes());
+            }
+            Finalize::GbdtLogistic {
+                base_score,
+                learning_rate,
+            } => {
+                out.push(1);
+                out.extend(base_score.to_bits().to_le_bytes());
+                out.extend(learning_rate.to_bits().to_le_bytes());
+            }
+        }
+        for &r in &self.tree_roots {
+            out.extend(r.to_le_bytes());
+        }
+        for &d in &self.tree_depths {
+            out.extend(d.to_le_bytes());
+        }
+        for &f in &self.feat {
+            out.extend(f.to_le_bytes());
+        }
+        for &t in &self.thr {
+            out.extend(t.to_bits().to_le_bytes());
+        }
+        for &l in &self.left {
+            out.extend(l.to_le_bytes());
+        }
+        for &v in &self.value {
+            out.extend(v.to_bits().to_le_bytes());
+        }
+        let footer = fnv1a64(&out);
+        out.extend(footer.to_le_bytes());
+        out
+    }
+
+    /// Decodes a `.mfpac` artifact. Any corruption — truncation, bit
+    /// flips, inconsistent structure — is refused with a structured
+    /// [`MlError::CorruptArtifact`]; this never panics on hostile
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::CorruptArtifact`] as described above.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MlError> {
+        if bytes.len() < 8 {
+            return Err(corrupt("artifact shorter than its footer"));
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes([
+            footer[0], footer[1], footer[2], footer[3], footer[4], footer[5], footer[6], footer[7],
+        ]);
+        if fnv1a64(body) != stored {
+            return Err(corrupt("checksum mismatch (truncated or corrupted)"));
+        }
+        let mut rd = Rd { b: body, pos: 0 };
+        if rd.u32()? != MFPAC_MAGIC {
+            return Err(corrupt("bad magic (not an .mfpac artifact)"));
+        }
+        let version = rd.u32()?;
+        if version != MFPAC_VERSION {
+            return Err(corrupt(format!("unsupported version {version}")));
+        }
+        let n_features = usize::try_from(rd.u64()?).map_err(|_| corrupt("n_features overflow"))?;
+        let n_trees = usize::try_from(rd.u64()?).map_err(|_| corrupt("n_trees overflow"))?;
+        let n_nodes = usize::try_from(rd.u64()?).map_err(|_| corrupt("n_nodes overflow"))?;
+        if n_features == 0 || n_features > 1 << 20 {
+            return Err(corrupt(format!("implausible feature count {n_features}")));
+        }
+        if n_trees == 0 || n_nodes < n_trees || n_nodes >= u32::MAX as usize {
+            return Err(corrupt(format!(
+                "implausible shape: {n_trees} trees / {n_nodes} nodes"
+            )));
+        }
+        // The header fully determines the artifact size; require an
+        // exact match so trailing garbage is refused too.
+        let expected = 8 + 24 + 17 + n_trees * 8 + n_nodes * 24;
+        if body.len() != expected {
+            return Err(corrupt(format!(
+                "length {} does not match header-implied {}",
+                bytes.len(),
+                expected + 8
+            )));
+        }
+        let finalize = match rd.u8()? {
+            0 => {
+                rd.f64()?;
+                rd.f64()?;
+                Finalize::RfMean
+            }
+            1 => {
+                let base_score = rd.f64()?;
+                let learning_rate = rd.f64()?;
+                if !base_score.is_finite() || !learning_rate.is_finite() {
+                    return Err(corrupt("non-finite GBDT finalize parameters"));
+                }
+                Finalize::GbdtLogistic {
+                    base_score,
+                    learning_rate,
+                }
+            }
+            tag => return Err(corrupt(format!("unknown finalize tag {tag}"))),
+        };
+        let mut tree_roots = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            tree_roots.push(rd.u32()?);
+        }
+        let mut tree_depths = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            tree_depths.push(rd.u32()?);
+        }
+        let mut feat = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            feat.push(rd.u32()?);
+        }
+        let mut thr = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            thr.push(rd.f64()?);
+        }
+        let mut left = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            left.push(rd.u32()?);
+        }
+        let mut value = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            value.push(rd.f64()?);
+        }
+        // Structural validation: roots ascending from 0, children
+        // adjacent and strictly forward within their tree's range (so
+        // traversal can never cycle or escape), features in range, and
+        // stored depths equal to the recomputed reachable depth (the
+        // level-synchronous kernel iterates exactly that many levels).
+        if tree_roots[0] != 0 {
+            return Err(corrupt("first tree root must be node 0"));
+        }
+        for t in 0..n_trees {
+            let s = tree_roots[t] as usize;
+            let e = if t + 1 < n_trees {
+                tree_roots[t + 1] as usize
+            } else {
+                n_nodes
+            };
+            if s >= e || e > n_nodes {
+                return Err(corrupt(format!("tree {t} has an empty or inverted range")));
+            }
+            let mut depth = vec![0u32; e - s];
+            let mut reached = vec![false; e - s];
+            reached[0] = true;
+            let mut max_depth = 0u32;
+            for ix in s..e {
+                if !reached[ix - s] {
+                    continue;
+                }
+                let f = feat[ix];
+                if f == LEAF {
+                    max_depth = max_depth.max(depth[ix - s]);
+                    continue;
+                }
+                if f as usize >= n_features {
+                    return Err(corrupt(format!("node {ix} splits on feature {f}")));
+                }
+                let l = left[ix] as usize;
+                if l <= ix || l + 1 >= e || l < s {
+                    return Err(corrupt(format!("node {ix} has out-of-range children")));
+                }
+                let d = depth[ix - s]
+                    .checked_add(1)
+                    .ok_or_else(|| corrupt("tree deeper than u32"))?;
+                depth[l - s] = d;
+                depth[l + 1 - s] = d;
+                reached[l - s] = true;
+                reached[l + 1 - s] = true;
+            }
+            if max_depth != tree_depths[t] {
+                return Err(corrupt(format!(
+                    "tree {t} stored depth {} but reachable depth is {max_depth}",
+                    tree_depths[t]
+                )));
+            }
+        }
+        let mut ens = CompiledEnsemble {
+            n_features,
+            cut: vec![0; n_nodes],
+            qflag: vec![0; n_nodes],
+            feat,
+            thr,
+            left,
+            value,
+            tree_roots,
+            tree_depths,
+            lanes: Vec::new(),
+            finalize,
+            n_threads: 1,
+        };
+        ens.build_lanes();
+        Ok(ens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quantization invariant the whole byte-compare path rests on:
+    /// with `edges` the sorted deduped threshold set,
+    /// `code(v) <= cut(t) ⟺ v <= t` for every threshold `t` and any
+    /// value — below, between, on, above, and NaN.
+    #[test]
+    fn code_cut_equivalence() {
+        let edges = [-3.5, -0.0, 1.0, 1.5, 2.0 + f64::EPSILON, 1e300];
+        let probes = [
+            f64::NEG_INFINITY,
+            -4.0,
+            -3.5,
+            -1e-300,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            1.25,
+            1.5,
+            2.0,
+            2.0 + f64::EPSILON,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &t in &edges {
+            let cut = edges.partition_point(|&e| e < t);
+            for &v in &probes {
+                let quantized = CompiledEnsemble::code(&edges, v) <= cut as u8;
+                let raw = v <= t;
+                assert_eq!(quantized, raw, "v = {v}, t = {t}");
+            }
+        }
+    }
+
+    /// NaN values must route right at *every* node: their code sits
+    /// past the largest cut.
+    #[test]
+    fn nan_codes_past_every_cut() {
+        let edges = [0.0, 1.0, 2.0];
+        assert_eq!(CompiledEnsemble::code(&edges, f64::NAN), 3);
+        let full: Vec<f64> = (0..MAX_EDGES).map(|i| i as f64).collect();
+        assert_eq!(CompiledEnsemble::code(&full, f64::NAN), u8::MAX);
+    }
+
+    /// The flattened layout invariants the kernels index by: children
+    /// adjacent (`right == left + 1` implicitly), strictly forward, and
+    /// within the owning tree's node range.
+    #[test]
+    fn flatten_keeps_children_adjacent_and_in_range() {
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![f64::from(i % 5), f64::from(i % 3), f64::from(i % 7)])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let mut gb = crate::Gbdt::new(6, 0.3, 3).with_seed(9);
+        gb.fit(&x, &y).unwrap();
+        let ens = gb.compile().unwrap();
+        for t in 0..ens.n_trees() {
+            let (s, e) = ens.tree_range(t);
+            assert!(s < e);
+            for ix in s..e {
+                if ens.feat[ix] == LEAF {
+                    continue;
+                }
+                let l = ens.left[ix] as usize;
+                assert!(l > ix && l + 1 < e, "node {ix}: left {l} range {s}..{e}");
+            }
+        }
+    }
+}

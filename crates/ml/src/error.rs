@@ -32,6 +32,9 @@ pub enum MlError {
     InvalidParameter(String),
     /// An underlying dataset operation failed.
     Dataset(String),
+    /// A serialized model artifact failed validation (bad magic,
+    /// truncation, checksum mismatch or inconsistent structure).
+    CorruptArtifact(String),
 }
 
 impl fmt::Display for MlError {
@@ -53,6 +56,7 @@ impl fmt::Display for MlError {
             MlError::NotFitted => f.write_str("model has not been fitted"),
             MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             MlError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+            MlError::CorruptArtifact(msg) => write!(f, "corrupt model artifact: {msg}"),
         }
     }
 }

@@ -210,6 +210,11 @@ impl Classifier for RandomForest {
     fn name(&self) -> &'static str {
         "RF"
     }
+
+    fn compile(&self) -> Option<crate::compile::CompiledEnsemble> {
+        let n_features = self.n_features?;
+        crate::compile::CompiledEnsemble::from_forest(&self.trees, n_features, self.n_threads)
+    }
 }
 
 #[cfg(test)]

@@ -161,7 +161,7 @@ impl Gbdt {
     }
 }
 
-fn sigmoid(z: f64) -> f64 {
+pub(crate) fn sigmoid(z: f64) -> f64 {
     1.0 / (1.0 + (-z.clamp(-700.0, 700.0)).exp())
 }
 
@@ -250,6 +250,17 @@ impl Classifier for Gbdt {
 
     fn name(&self) -> &'static str {
         "GBDT"
+    }
+
+    fn compile(&self) -> Option<crate::compile::CompiledEnsemble> {
+        let n_features = self.n_features?;
+        crate::compile::CompiledEnsemble::from_gbdt(
+            &self.trees,
+            n_features,
+            self.base_score,
+            self.learning_rate,
+            self.n_threads,
+        )
     }
 }
 

@@ -35,6 +35,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod binning;
+pub mod compile;
 mod error;
 mod forest;
 mod gbdt;
@@ -50,6 +51,7 @@ mod threshold;
 pub mod tree;
 
 pub use binning::{BinnedMatrix, DEFAULT_MAX_BINS};
+pub use compile::{CompiledEnsemble, SequentialScorer};
 pub use error::MlError;
 pub use forest::RandomForest;
 pub use gbdt::Gbdt;

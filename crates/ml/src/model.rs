@@ -2,6 +2,7 @@
 
 use mfpa_dataset::Matrix;
 
+use crate::compile::CompiledEnsemble;
 use crate::error::MlError;
 
 /// A binary classifier over dense feature rows.
@@ -50,6 +51,17 @@ pub trait Classifier: Send + Sync {
 
     /// A short human-readable model name (used in experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Compiles the fitted model into a flat [`CompiledEnsemble`] for
+    /// serving-grade batch scoring, or `None` for model families without
+    /// a compiled form (everything except the tree ensembles) and for
+    /// unfitted models.
+    ///
+    /// A compiled ensemble's probabilities are bit-identical to this
+    /// model's [`Classifier::predict_proba`].
+    fn compile(&self) -> Option<CompiledEnsemble> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -85,19 +85,19 @@ impl Default for TreeParams {
     }
 }
 
-const LEAF: u32 = u32::MAX;
+pub(crate) const LEAF: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Node {
+pub(crate) struct Node {
     /// Split feature, or [`LEAF`].
-    feature: u32,
+    pub(crate) feature: u32,
     /// Split threshold: `value <= threshold` goes left.
-    threshold: f64,
-    left: u32,
-    right: u32,
+    pub(crate) threshold: f64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
     /// Leaf prediction (mean target / Newton value); also kept on inner
     /// nodes for debugging.
-    value: f64,
+    pub(crate) value: f64,
 }
 
 /// A CART decision tree for binary classification or regression.
@@ -369,20 +369,32 @@ impl DecisionTree {
     }
 
     /// Depth of the fitted tree (a lone leaf has depth 0).
+    ///
+    /// Iterative (explicit work list) so that arbitrarily deep trees —
+    /// e.g. from unbounded-depth configs — cannot overflow the call
+    /// stack.
     pub fn depth(&self) -> usize {
-        fn depth_at(nodes: &[Node], ix: usize) -> usize {
-            let n = &nodes[ix];
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut max_depth = 0usize;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((ix, d)) = stack.pop() {
+            let n = &self.nodes[ix as usize];
             if n.feature == LEAF {
-                0
+                max_depth = max_depth.max(d);
             } else {
-                1 + depth_at(nodes, n.left as usize).max(depth_at(nodes, n.right as usize))
+                stack.push((n.left, d + 1));
+                stack.push((n.right, d + 1));
             }
         }
-        if self.nodes.is_empty() {
-            0
-        } else {
-            depth_at(&self.nodes, 0)
-        }
+        max_depth
+    }
+
+    /// Read-only view of the flat node pool (root at index 0); used by
+    /// the post-fit compiler in [`crate::compile`].
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     fn build(&mut self, ctx: &mut BuildCtx<'_>, indices: Vec<usize>, depth: usize) -> u32 {
@@ -808,5 +820,57 @@ mod tests {
         );
         let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
         assert!(t.predict_values(&x).is_err()); // not fitted
+    }
+
+    #[test]
+    fn depth_survives_pathologically_deep_trees() {
+        // A left-leaning chain 200k nodes deep. The recursive depth_at
+        // this replaced would need ~200k stack frames; prove the
+        // iterative version copes by running it on a 256 KiB stack.
+        const DEPTH: u32 = 200_000;
+        // Inner node at 2d chains to the next inner node via `right`
+        // (index 2d + 2); its `left` child (2d + 1) is a leaf.
+        let mut nodes = Vec::with_capacity(2 * DEPTH as usize + 1);
+        for d in 0..DEPTH {
+            let base = 2 * d;
+            nodes.push(Node {
+                feature: 0,
+                threshold: 0.5,
+                left: base + 1,
+                right: base + 2,
+                value: 0.0,
+            });
+            nodes.push(Node {
+                feature: LEAF,
+                threshold: 0.0,
+                left: 0,
+                right: 0,
+                value: 1.0,
+            });
+        }
+        nodes.push(Node {
+            feature: LEAF,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value: 2.0,
+        });
+        let tree = DecisionTree {
+            params: TreeParams::default(),
+            seed: 0,
+            nodes,
+            n_features: Some(1),
+            importances: vec![0.0],
+        };
+        let handle = std::thread::Builder::new()
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                assert_eq!(tree.depth(), DEPTH as usize);
+                // predict_row is iterative too: the all-right path ends
+                // in the deepest leaf.
+                assert_eq!(tree.predict_row(&[1.0]), 2.0);
+            })
+            .unwrap();
+        handle.join().unwrap();
     }
 }

@@ -89,6 +89,21 @@ for must in "replay is bit-identical" "bit-flipped checkpoint refused"; do
 done
 echo "serve smoke passed (recovery bit-identical, corrupt checkpoint refused)"
 
+echo "== compiled inference smoke: cross-process .mfpac round trip =="
+# `save` compiles in one process, `load` decodes and rescores in a
+# *fresh* process (the artifact is the only thing crossing), `corrupt`
+# flips one bit and must be refused with a structured error.
+cargo build --release -q -p mfpa-ml --example mfpac_smoke
+mfpac_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fresh_report" "$serve_dir" "$mfpac_dir"' EXIT
+target/release/examples/mfpac_smoke save "$mfpac_dir"
+target/release/examples/mfpac_smoke load "$mfpac_dir"
+target/release/examples/mfpac_smoke corrupt "$mfpac_dir"
+echo "compiled round trip bit-identical across processes, corruption refused"
+
+echo "== compiled parity proptests (interpreted == compiled, bit for bit) =="
+cargo test --release -q -p mfpa-ml --test compiled_parity
+
 echo "== crash-recovery equivalence gate (every batch boundary) =="
 cargo test --release -q -p mfpa-suite --test fleet_monitor -- \
     kill_and_restore_is_bit_identical_at_every_batch_boundary \

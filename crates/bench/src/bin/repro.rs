@@ -8,8 +8,9 @@
 //! Run `repro list` for the experiment ids; `repro all` regenerates
 //! everything (this is what EXPERIMENTS.md records). `--json PATH`
 //! appends one JSON line per experiment for machine consumption.
-//! `repro lint` runs the workspace determinism lint (DESIGN.md §8) and
-//! refreshes the committed `results/lint_report.json` snapshot.
+//! `repro lint` runs the workspace determinism lint (DESIGN.md §8),
+//! refreshes the committed `results/lint_report.json` snapshot, and
+//! records the scan's wall time in `BENCH_PR9.json`.
 
 use std::io::Write;
 
@@ -91,6 +92,7 @@ fn run_lint() -> i32 {
         eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
         return 2;
     };
+    let t0 = std::time::Instant::now();
     let report = match mfpa_lint::lint_workspace(&root, mfpa_lint::LintOptions::default()) {
         Ok(r) => r,
         Err(e) => {
@@ -98,6 +100,7 @@ fn run_lint() -> i32 {
             return 2;
         }
     };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     print!("{}", report.render_human());
     let snapshot_path = root.join("results").join("lint_report.json");
     let snapshot = mfpa_lint::pretty_json(&report.snapshot_json());
@@ -106,6 +109,18 @@ fn run_lint() -> i32 {
         return 2;
     }
     eprintln!("[lint] snapshot written to {}", snapshot_path.display());
+    let bench = serde_json::json!({
+        "stage": "lint",
+        "files": report.n_files,
+        "findings": report.findings.len(),
+        "wall_ms": wall_ms,
+    });
+    let bench_path = root.join("BENCH_PR9.json");
+    if let Err(e) = std::fs::write(&bench_path, format!("{bench}\n")) {
+        eprintln!("error: write {}: {e}", bench_path.display());
+        return 2;
+    }
+    eprintln!("[lint] timing written to {}", bench_path.display());
     i32::from(!report.is_clean())
 }
 

@@ -1,0 +1,305 @@
+//! Shared little-endian byte codec for every hand-rolled binary format
+//! in the workspace (checkpoint `.mfpa` files, compiled-model `.mfpac`
+//! artifacts, future chunked-dataset codecs).
+//!
+//! Before this crate existed, `core::checkpoint` and `ml::compile`
+//! each carried a private copy of the same writer/reader/FNV trio.
+//! Centralizing them does two jobs:
+//!
+//! * **one truncation-safe implementation** — every read is
+//!   bounds-checked and reports the failing offset instead of
+//!   panicking, so arbitrarily corrupted input degrades to a
+//!   structured error ("refuse, don't corrupt");
+//! * **a canonical vocabulary for static analysis** — `mfpa-lint`'s
+//!   d11 codec-symmetry rule recognizes exactly the method names
+//!   defined here (`u8`/`u32`/`u64`/`i64`/`f64`/`counter`/`flag` and
+//!   the reader-side `len`) when it checks that an encoder's write
+//!   sequence mirrors its decoder's read sequence.
+//!
+//! Checksum framing lives here too ([`seal`]/[`unseal`]): the FNV-1a-64
+//! footer is appended and verified *outside* the field sequence, so
+//! encoders and decoders stay textually symmetric for d11.
+//!
+//! All integers are little-endian; floats travel as IEEE-754 bit
+//! patterns (`f64::to_bits`) so round trips are exact.
+
+/// FNV-1a 64-bit over `data`.
+#[must_use]
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append an FNV-1a-64 footer over `payload` and return the sealed
+/// buffer. The inverse of [`unseal`].
+#[must_use]
+pub fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let checksum = fnv1a64(&payload);
+    payload.extend_from_slice(&checksum.to_le_bytes());
+    payload
+}
+
+/// Verify the trailing FNV-1a-64 footer of `data` and return the
+/// payload with the footer stripped. Errors describe the failure
+/// (too short / checksum mismatch) without panicking.
+pub fn unseal(data: &[u8]) -> Result<&[u8], String> {
+    if data.len() < 8 {
+        return Err(format!(
+            "{} bytes is too short to hold a checksum",
+            data.len()
+        ));
+    }
+    let (payload, footer) = data.split_at(data.len() - 8);
+    let footer: [u8; 8] = footer
+        .try_into()
+        .map_err(|_| "checksum footer is not 8 bytes".to_string())?;
+    let stored = u64::from_le_bytes(footer);
+    let actual = fnv1a64(payload);
+    if stored != actual {
+        return Err(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        ));
+    }
+    Ok(payload)
+}
+
+/// Little-endian field writer. Each method appends one field; the
+/// method set is the canonical write vocabulary d11 pairs against
+/// [`ByteReader`]'s read vocabulary.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    #[must_use]
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    pub fn counter(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    pub fn flag(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish the payload without a checksum footer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Finish the payload and append the FNV-1a-64 footer ([`seal`]).
+    #[must_use]
+    pub fn into_sealed(self) -> Vec<u8> {
+        seal(self.buf)
+    }
+}
+
+/// Truncation-safe little-endian field reader: every read is
+/// bounds-checked and reports the failing offset instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Current offset, for error reporting by callers.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| format!("truncated at offset {}", self.pos))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, String> {
+        let b = self.take(1)?;
+        b.first()
+            .copied()
+            .ok_or_else(|| format!("truncated at offset {}", self.pos))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| format!("truncated at offset {}", self.pos))?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| format!("truncated at offset {}", self.pos))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, String> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn counter(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("counter {v} overflows usize"))
+    }
+
+    pub fn flag(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("invalid flag byte {other}")),
+        }
+    }
+
+    /// A length prefix for a collection about to be decoded; bounded by
+    /// the bytes actually remaining so a corrupted length cannot drive
+    /// a huge allocation.
+    pub fn len(&mut self, min_item_bytes: usize) -> Result<usize, String> {
+        let n = self.counter()?;
+        let remaining = self.data.len() - self.pos;
+        if n.saturating_mul(min_item_bytes.max(1)) > remaining {
+            return Err(format!(
+                "length {n} exceeds the {remaining} bytes remaining"
+            ));
+        }
+        Ok(n)
+    }
+
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_field_kind() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 7);
+        w.i64(-42);
+        w.f64(std::f64::consts::PI);
+        w.counter(123_456);
+        w.flag(true);
+        w.flag(false);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8(), Ok(0xAB));
+        assert_eq!(r.u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Ok(u64::MAX - 7));
+        assert_eq!(r.i64(), Ok(-42));
+        assert_eq!(
+            r.f64().map(f64::to_bits),
+            Ok(std::f64::consts::PI.to_bits())
+        );
+        assert_eq!(r.counter(), Ok(123_456));
+        assert_eq!(r.flag(), Ok(true));
+        assert_eq!(r.flag(), Ok(false));
+        assert!(r.done());
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_never_a_panic() {
+        let mut w = ByteWriter::new();
+        w.u32(7);
+        w.f64(1.5);
+        w.counter(3);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let mut saw_err = false;
+            for _ in 0..4 {
+                if r.u32().is_err() || r.f64().is_err() || r.counter().is_err() {
+                    saw_err = true;
+                    break;
+                }
+            }
+            assert!(saw_err, "truncation at {cut} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_reject() {
+        let payload = b"field sequence".to_vec();
+        let sealed = seal(payload.clone());
+        assert_eq!(unseal(&sealed), Ok(payload.as_slice()));
+        assert!(unseal(&sealed[..7]).is_err(), "short input must be refused");
+        for bit in 0..sealed.len() * 8 {
+            let mut bad = sealed.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(unseal(&bad).is_err(), "bit flip {bit} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn len_prefix_rejects_lengths_larger_than_remaining() {
+        let mut w = ByteWriter::new();
+        w.counter(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.len(8).is_err());
+    }
+}

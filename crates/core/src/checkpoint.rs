@@ -32,6 +32,8 @@ use std::path::{Path, PathBuf};
 
 use mfpa_telemetry::{DailyRecord, DayStamp, FirmwareVersion, SerialNumber, SmartValues, Vendor};
 
+use crate::bytes::{unseal, ByteReader, ByteWriter};
+
 use crate::error::CoreError;
 use crate::fleet_monitor::{
     DriveState, FleetMonitor, FleetMonitorConfig, PendingRecord, QuarantineInfo, ShardReport,
@@ -43,134 +45,6 @@ use crate::sanitize::{SanitizeConfig, SanitizeReport};
 const MAGIC: u32 = 0x4D46_5041;
 /// Bump on any layout change; old versions are refused, not migrated.
 const VERSION: u32 = 1;
-
-/// FNV-1a 64-bit over `data`.
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-// ---------------------------------------------------------------------
-// Little-endian byte codec. The reader is truncation-safe: every read
-// is bounds-checked and reports the failing offset instead of
-// panicking, so arbitrarily corrupted input degrades to
-// `CheckpointCorrupt`.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Default)]
-struct ByteWriter {
-    buf: Vec<u8>,
-}
-
-impl ByteWriter {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn counter(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-    fn flag(&mut self, v: bool) {
-        self.u8(u8::from(v));
-    }
-}
-
-#[derive(Debug)]
-struct ByteReader<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        ByteReader { data, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&end| end <= self.data.len())
-            .ok_or_else(|| format!("truncated at offset {}", self.pos))?;
-        let slice = &self.data[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        let b: [u8; 4] = self
-            .take(4)?
-            .try_into()
-            .map_err(|_| format!("truncated at offset {}", self.pos))?;
-        Ok(u32::from_le_bytes(b))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        let b: [u8; 8] = self
-            .take(8)?
-            .try_into()
-            .map_err(|_| format!("truncated at offset {}", self.pos))?;
-        Ok(u64::from_le_bytes(b))
-    }
-
-    fn i64(&mut self) -> Result<i64, String> {
-        Ok(self.u64()? as i64)
-    }
-
-    fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn counter(&mut self) -> Result<usize, String> {
-        let v = self.u64()?;
-        usize::try_from(v).map_err(|_| format!("counter {v} overflows usize"))
-    }
-
-    fn flag(&mut self) -> Result<bool, String> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(format!("invalid flag byte {other}")),
-        }
-    }
-
-    /// A length prefix for a collection about to be decoded; bounded by
-    /// the bytes actually remaining so a corrupted length cannot drive
-    /// a huge allocation.
-    fn len(&mut self, min_item_bytes: usize) -> Result<usize, String> {
-        let n = self.counter()?;
-        let remaining = self.data.len() - self.pos;
-        if n.saturating_mul(min_item_bytes.max(1)) > remaining {
-            return Err(format!(
-                "length {n} exceeds the {remaining} bytes remaining"
-            ));
-        }
-        Ok(n)
-    }
-
-    fn done(&self) -> bool {
-        self.pos == self.data.len()
-    }
-}
 
 // ---------------------------------------------------------------------
 // Encoding
@@ -295,9 +169,7 @@ pub(crate) fn encode(monitor: &FleetMonitor) -> Vec<u8> {
             put_drive_state(&mut w, *serial, state);
         }
     }
-    let checksum = fnv1a64(&w.buf);
-    w.u64(checksum);
-    w.buf
+    w.into_sealed()
 }
 
 // ---------------------------------------------------------------------
@@ -472,19 +344,7 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> CoreError {
 
 /// Decodes and validates checkpoint bytes under `cfg`.
 fn decode(cfg: FleetMonitorConfig, data: &[u8], path: &Path) -> Result<FleetMonitor, CoreError> {
-    if data.len() < 8 {
-        return Err(corrupt(path, "shorter than the checksum footer"));
-    }
-    let (payload, footer) = data.split_at(data.len() - 8);
-    let mut fr = ByteReader::new(footer);
-    let stored = fr.u64().map_err(|e| corrupt(path, e))?;
-    let actual = fnv1a64(payload);
-    if stored != actual {
-        return Err(corrupt(
-            path,
-            format!("checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"),
-        ));
-    }
+    let payload = unseal(data).map_err(|e| corrupt(path, e))?;
     let mut r = ByteReader::new(payload);
     let step = |r: &mut ByteReader<'_>| -> Result<FleetMonitor, String> {
         let magic = r.u32()?;
@@ -520,7 +380,7 @@ fn decode(cfg: FleetMonitorConfig, data: &[u8], path: &Path) -> Result<FleetMoni
         if !r.done() {
             return Err(format!(
                 "{} trailing bytes after the final shard",
-                payload.len() - r.pos
+                payload.len() - r.position()
             ));
         }
         Ok(FleetMonitor {

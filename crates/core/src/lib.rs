@@ -45,6 +45,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+/// Shared little-endian codec vocabulary (re-export of `mfpa-bytes`):
+/// [`bytes::ByteWriter`], [`bytes::ByteReader`] and the FNV-1a-64
+/// checksum framing used by the checkpoint and `.mfpac` codecs.
+pub use mfpa_bytes as bytes;
+
 mod algorithms;
 pub mod baselines;
 pub mod checkpoint;

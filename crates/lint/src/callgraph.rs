@@ -21,6 +21,7 @@
 //! direction for the d7–d9 rules: a function is only ever wrongly
 //! *included* in the deterministic perimeter, never wrongly excluded.
 
+use crate::dataflow::FnFlow;
 use crate::parser::{Callee, ParsedFile};
 use crate::taint::FnFacts;
 use std::collections::BTreeMap;
@@ -49,6 +50,8 @@ pub struct FnNode {
     pub end_line: u32,
     /// Intra-function facts from the taint analyzer.
     pub facts: FnFacts,
+    /// Intra-function dataflow facts (d10–d12 raw material).
+    pub flow: FnFlow,
 }
 
 /// One call edge.
@@ -79,6 +82,8 @@ pub struct FileItems {
     pub parsed: ParsedFile,
     /// Per-function facts, parallel to `parsed.functions`.
     pub facts: Vec<FnFacts>,
+    /// Per-function dataflow facts, parallel to `parsed.functions`.
+    pub flows: Vec<FnFlow>,
 }
 
 /// The workspace call graph.
@@ -127,7 +132,13 @@ impl CallGraph {
         // File index parallel to nodes, for import lookup.
         let mut node_file: Vec<usize> = Vec::new();
         for (fx, file) in files.iter().enumerate() {
-            for (f, facts) in file.parsed.functions.iter().zip(&file.facts) {
+            let fns = file
+                .parsed
+                .functions
+                .iter()
+                .zip(&file.facts)
+                .zip(&file.flows);
+            for ((f, facts), flow) in fns {
                 let mut modules = file.mod_path.clone();
                 modules.extend(f.modules.iter().cloned());
                 let mut qparts: Vec<&str> = vec![file.crate_name.as_str()];
@@ -149,6 +160,7 @@ impl CallGraph {
                     line: f.line,
                     end_line: f.end_line,
                     facts: facts.clone(),
+                    flow: flow.clone(),
                 });
                 node_file.push(fx);
             }
@@ -478,12 +490,18 @@ mod tests {
             .iter()
             .map(|f| taint::analyze_fn(&code, f, &parsed.unordered_fields))
             .collect();
+        let flows = parsed
+            .functions
+            .iter()
+            .map(|f| crate::dataflow::analyze_fn(&code, f))
+            .collect();
         FileItems {
             crate_name: crate_name.to_owned(),
             label: label.to_owned(),
             mod_path: module_path_from_label(label),
             parsed,
             facts,
+            flows,
         }
     }
 

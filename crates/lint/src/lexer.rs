@@ -290,9 +290,14 @@ impl Lexer {
     fn number(&mut self, line: u32) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
-            // Good enough for rule matching: glue digits, `_`, `.`, hex
-            // letters and exponent signs into one opaque number token.
-            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+            // Good enough for rule matching: glue digits, `_`, hex
+            // letters and exponent chars into one opaque number token.
+            // A `.` belongs to the number only as a decimal point
+            // (digit follows): `0..n` ranges and `0.max(x)` method
+            // calls end the token so their operands stay visible to
+            // the dataflow layer.
+            let decimal_point = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == '_' || decimal_point {
                 text.push(c);
                 self.bump();
             } else {

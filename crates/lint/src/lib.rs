@@ -32,12 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 pub mod taint;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -61,9 +62,16 @@ pub const ROOT_SPECS: &[&str] = &[
     "SequentialScorer::score_rows",
 ];
 
+/// The decoder roots for the d12 decoder-bounds rule: the entry points
+/// hostile bytes flow through. Everything reachable from these must
+/// bounds-guard its slice indexing — corrupted input is refused with a
+/// structured error, never a panic. Same spec syntax as [`ROOT_SPECS`].
+pub const DECODE_ROOT_SPECS: &[&str] = &["checkpoint::restore", "CompiledEnsemble::from_bytes"];
+
 /// The snapshot/JSON schema version. Bumped to 2 when findings gained
-/// the `chain` field and the snapshot per-rule `entries`.
-pub const SCHEMA_VERSION: u32 = 2;
+/// the `chain` field and the snapshot per-rule `entries`; to 3 when the
+/// dataflow rules d10–d12 joined the catalog.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Options controlling the analysis.
 #[derive(Debug, Clone, Copy, Default)]
@@ -298,6 +306,11 @@ fn scan_file(sf: &SourceFile) -> FileScan {
         .iter()
         .map(|f| taint::analyze_fn(&code, f, &parsed.unordered_fields))
         .collect();
+    let flows = parsed
+        .functions
+        .iter()
+        .map(|f| dataflow::analyze_fn(&code, f))
+        .collect();
     FileScan {
         crate_name: sf.crate_name.clone(),
         label: sf.label.clone(),
@@ -310,6 +323,7 @@ fn scan_file(sf: &SourceFile) -> FileScan {
             mod_path: callgraph::module_path_from_label(&sf.label),
             parsed,
             facts,
+            flows,
         },
     }
 }
@@ -334,6 +348,7 @@ pub fn lint_files(files: &[SourceFile], opts: LintOptions) -> LintReport {
     let items: Vec<FileItems> = scans.iter().map(|s| s.items.clone()).collect();
     let graph = CallGraph::build(&items);
     let reach = Reachability::compute(&graph, ROOT_SPECS);
+    let reach_decode = Reachability::compute(&graph, DECODE_ROOT_SPECS);
 
     // Node indices per file label, for span lookup.
     let mut nodes_of_file: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
@@ -350,9 +365,14 @@ pub fn lint_files(files: &[SourceFile], opts: LintOptions) -> LintReport {
             .get(scan.label.as_str())
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        report
-            .findings
-            .extend(assemble_file(scan, &graph, &reach, file_nodes, opts));
+        report.findings.extend(assemble_file(
+            scan,
+            &graph,
+            &reach,
+            &reach_decode,
+            file_nodes,
+            opts,
+        ));
     }
     report.findings.sort_by(|a, b| {
         a.file
@@ -377,15 +397,17 @@ fn assemble_file(
     scan: &FileScan,
     graph: &CallGraph,
     reach: &Reachability,
+    reach_decode: &Reachability,
     file_nodes: &[usize],
     opts: LintOptions,
 ) -> Vec<Finding> {
-    let chain_names = |ix: usize| -> Vec<String> {
-        reach.chains[ix]
+    let names_of = |r: &Reachability, ix: usize| -> Vec<String> {
+        r.chains[ix]
             .as_ref()
             .map(|c| c.iter().map(|&i| graph.nodes[i].qname.clone()).collect())
             .unwrap_or_default()
     };
+    let chain_names = |ix: usize| names_of(reach, ix);
     // The innermost function whose span covers `line`.
     let enclosing = |line: u32| -> Option<usize> {
         file_nodes
@@ -427,7 +449,7 @@ fn assemble_file(
     }
 
     // Interprocedural facts, routed by reachability.
-    let d2_scope = |rule_id: &str| {
+    let crate_scoped = |rule_id: &str| {
         rules::rule_by_id(rule_id).is_some_and(|r| rules::in_scope(r, &scan.crate_name))
     };
     for &ix in file_nodes {
@@ -472,7 +494,7 @@ fn assemble_file(
             // Unreachable code falls back to the crate-scoped lexical
             // rule families (panics and entropy are already covered by
             // the lexical d5/d3 arms above).
-            if d2_scope("d2") {
+            if crate_scoped("d2") {
                 for s in &n.facts.unordered_sites {
                     hits.push(Hit {
                         rule: "d2",
@@ -482,13 +504,97 @@ fn assemble_file(
                     });
                 }
             }
-            if d2_scope("d3") {
+            if crate_scoped("d3") {
                 for s in &n.facts.clock_sites {
                     hits.push(Hit {
                         rule: "d3",
                         line: s.line,
                         message: s.what.clone(),
                         chain: vec![n.qname.clone()],
+                    });
+                }
+            }
+        }
+    }
+
+    // Dataflow rules. d10 is crate-scoped — an order-sensitive captured
+    // accumulator corrupts determinism wherever the closure runs. d12
+    // is gated by reachability from the decoder roots and carries that
+    // chain, so every finding names the hostile-input entry point.
+    for &ix in file_nodes {
+        let n = &graph.nodes[ix];
+        if crate_scoped("d10") {
+            for s in &n.flow.par_accums {
+                hits.push(Hit {
+                    rule: "d10",
+                    line: s.line,
+                    message: s.what.clone(),
+                    chain: if reachable(ix) {
+                        chain_names(ix)
+                    } else {
+                        vec![n.qname.clone()]
+                    },
+                });
+            }
+        }
+        if reach_decode.chains[ix].is_some() {
+            for s in &n.flow.unguarded_indexes {
+                hits.push(Hit {
+                    rule: "d12",
+                    line: s.line,
+                    message: s.what.clone(),
+                    chain: names_of(reach_decode, ix),
+                });
+            }
+        }
+    }
+
+    // d11 codec-symmetry: pair and compare this file's codec functions.
+    if crate_scoped("d11") {
+        let codecs: Vec<(usize, dataflow::CodecFn)> = file_nodes
+            .iter()
+            .filter_map(|&ix| graph.nodes[ix].flow.codec.clone().map(|c| (ix, c)))
+            .collect();
+        for issue in dataflow::check_codecs(&codecs) {
+            match issue {
+                dataflow::CodecIssue::Unpaired {
+                    fn_ix,
+                    line: _,
+                    name,
+                    is_encoder,
+                } => {
+                    let (side, wanted) = if is_encoder {
+                        ("encoder", "decoder")
+                    } else {
+                        ("decoder", "encoder")
+                    };
+                    hits.push(Hit {
+                        rule: "d11",
+                        line: graph.nodes[fn_ix].line,
+                        message: format!(
+                            "codec {side} `{name}` has no {wanted} counterpart in this file"
+                        ),
+                        chain: vec![graph.nodes[fn_ix].qname.clone()],
+                    });
+                }
+                dataflow::CodecIssue::Mismatch {
+                    enc_ix,
+                    dec_ix,
+                    enc_line,
+                    dec_line,
+                    detail,
+                } => {
+                    let enc = &graph.nodes[enc_ix];
+                    let dec = &graph.nodes[dec_ix];
+                    hits.push(Hit {
+                        rule: "d11",
+                        line: enc_line,
+                        message: format!(
+                            "write sequence of `{}` (line {enc_line}) does not mirror \
+                             the read sequence of `{}` (line {dec_line}): {detail}",
+                            enc.name, dec.name
+                        ),
+                        chain: vec![enc.qname.clone(), dec.qname.clone()],
                     });
                 }
             }
@@ -688,6 +794,62 @@ pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, LintError> {
 pub fn lint_workspace(root: &Path, opts: LintOptions) -> Result<LintReport, LintError> {
     let files = collect_workspace(root)?;
     Ok(lint_files(&files, opts))
+}
+
+/// The lines `--fix` may delete, keyed by repo-relative file label:
+/// every unused-suppression finding the report carries, as 1-based
+/// line numbers. Malformed allows (missing reason) are *not* included
+/// — deleting those silently would hide a directive someone meant to
+/// write; they need a human.
+pub fn unused_allow_lines(report: &LintReport) -> BTreeMap<String, Vec<u32>> {
+    let mut out: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for f in &report.findings {
+        if f.rule == "lint" && f.suppressed.is_none() && f.message.contains("unused suppression") {
+            out.entry(f.file.clone()).or_default().push(f.line);
+        }
+    }
+    out
+}
+
+/// Deletes the unused `// mfpa-lint: allow(...)` comment on each listed
+/// 1-based line of `src`. A standalone allow line disappears entirely;
+/// a trailing allow is truncated off its code line. Only line comments
+/// are touched — a block-comment allow is left for a human — and lines
+/// without the marker pass through unchanged, so the transform is
+/// idempotent: applying it to already-fixed text is the identity.
+pub fn strip_unused_allow_lines(src: &str, lines: &[u32]) -> String {
+    let doomed: BTreeSet<u32> = lines.iter().copied().collect();
+    let mut out = String::with_capacity(src.len());
+    for (ix, line) in src.split_inclusive('\n').enumerate() {
+        let n = u32::try_from(ix + 1).unwrap_or(u32::MAX);
+        if !doomed.contains(&n) {
+            out.push_str(line);
+            continue;
+        }
+        let Some(m) = line.find(rules::SUPPRESS_MARKER) else {
+            out.push_str(line);
+            continue;
+        };
+        let Some(slashes) = line[..m].rfind("//") else {
+            out.push_str(line);
+            continue;
+        };
+        if line[..m].rfind("/*").is_some_and(|open| open > slashes) {
+            // The marker sits in a block comment: not the mechanical
+            // case, leave it alone.
+            out.push_str(line);
+            continue;
+        }
+        let kept = line[..slashes].trim_end();
+        if kept.is_empty() {
+            continue; // standalone allow line: drop it outright
+        }
+        out.push_str(kept);
+        if line.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! mfpa-lint [--root PATH] [--format human|json] [--report PATH]
-//!           [--index-checks] [--verbose]
+//!           [--index-checks] [--verbose] [--fix]
 //! ```
 //!
 //! Exit codes (CI semantics): `0` clean, `1` unsuppressed violations,
 //! `2` usage or I/O error.
+//!
+//! A plain run is always a dry run: unused `allow(...)` comments are
+//! reported as `lint` findings and nothing is touched. `--fix` deletes
+//! those lines in place (the one mechanical case) and reports the
+//! post-fix state.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,6 +22,7 @@ struct Args {
     report: Option<PathBuf>,
     index_checks: bool,
     verbose: bool,
+    fix: bool,
 }
 
 #[derive(PartialEq)]
@@ -32,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         report: None,
         index_checks: false,
         verbose: false,
+        fix: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -50,10 +57,11 @@ fn parse_args() -> Result<Args, String> {
             "--report" => args.report = Some(PathBuf::from(grab("--report")?)),
             "--index-checks" => args.index_checks = true,
             "--verbose" => args.verbose = true,
+            "--fix" => args.fix = true,
             "--help" | "-h" => {
                 println!(
                     "mfpa-lint [--root PATH] [--format human|json] [--report PATH] \
-                     [--index-checks] [--verbose]"
+                     [--index-checks] [--verbose] [--fix]"
                 );
                 std::process::exit(0);
             }
@@ -76,7 +84,30 @@ fn run() -> Result<bool, String> {
     let opts = mfpa_lint::LintOptions {
         index_checks: args.index_checks,
     };
-    let report = mfpa_lint::lint_workspace(&root, opts).map_err(|e| e.to_string())?;
+    let mut report = mfpa_lint::lint_workspace(&root, opts).map_err(|e| e.to_string())?;
+    if args.fix {
+        let targets = mfpa_lint::unused_allow_lines(&report);
+        let mut removed = 0usize;
+        for (label, lines) in &targets {
+            let path = root.join(label);
+            let before = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let after = mfpa_lint::strip_unused_allow_lines(&before, lines);
+            if after != before {
+                std::fs::write(&path, &after)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                removed += lines.len();
+            }
+        }
+        if removed > 0 {
+            eprintln!(
+                "mfpa-lint: --fix removed {removed} unused allow(s) across {} file(s)",
+                targets.len()
+            );
+            // Report the post-fix state, not the stale pre-fix one.
+            report = mfpa_lint::lint_workspace(&root, opts).map_err(|e| e.to_string())?;
+        }
+    }
     match args.format {
         Format::Human => {
             if args.verbose {

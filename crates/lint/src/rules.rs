@@ -34,10 +34,19 @@ const LIB_CRATES: &[&str] = &[
     "ml",
     "core",
     "par",
+    "bytes",
     "lint",
     "suite",
 ];
-const DETERMINISTIC: &[&str] = &["telemetry", "fleetsim", "dataset", "ml", "core", "par"];
+const DETERMINISTIC: &[&str] = &[
+    "telemetry",
+    "fleetsim",
+    "dataset",
+    "ml",
+    "core",
+    "par",
+    "bytes",
+];
 const ORDERED_OUTPUT: &[&str] = &["fleetsim", "core", "ml", "dataset"];
 const EVERYWHERE: &[&str] = &[
     "telemetry",
@@ -46,6 +55,7 @@ const EVERYWHERE: &[&str] = &[
     "ml",
     "core",
     "par",
+    "bytes",
     "bench",
     "lint",
     "suite",
@@ -56,11 +66,12 @@ const NO_PAR: &[&str] = &[
     "dataset",
     "ml",
     "core",
+    "bytes",
     "bench",
     "lint",
     "suite",
 ];
-const COUNTER_CRATES: &[&str] = &["telemetry", "fleetsim", "dataset", "ml", "core"];
+const COUNTER_CRATES: &[&str] = &["telemetry", "fleetsim", "dataset", "ml", "core", "bytes"];
 
 /// The contract rules, in catalog order. d1–d6 are the lexical rules
 /// scoped by crate directory (d2/d3/d5 now cover only code *not*
@@ -139,6 +150,36 @@ pub const RULES: &[Rule] = &[
         summary: "`Instant`/`SystemTime`/entropy/thread-id-derived values reaching \
                   code on a path from a deterministic root to model inputs \
                   (elapsed-into-timing-fields is machine-verified clean)",
+        scope: &[],
+        interprocedural: true,
+    },
+    Rule {
+        id: "d10",
+        name: "float-reduction-order",
+        summary: "order-sensitive float accumulation (`+=`, `x = x + …`, running \
+                  means) into a variable captured by a closure passed to an \
+                  mfpa-par combinator — the per-item path runs in scheduling \
+                  order; fold in `map_reduce`'s serial stage instead",
+        scope: EVERYWHERE,
+        interprocedural: false,
+    },
+    Rule {
+        id: "d11",
+        name: "codec-symmetry",
+        summary: "a hand-rolled encoder/decoder pair (`put_X`/`get_X`, \
+                  `encode`/`decode`, `to_bytes`/`from_bytes`) whose write and \
+                  read sequences diverge in field width or order, or a codec \
+                  root with no opposite-side partner in its file",
+        scope: EVERYWHERE,
+        interprocedural: false,
+    },
+    Rule {
+        id: "d12",
+        name: "decoder-bounds",
+        summary: "slice indexing reachable from a decoder root \
+                  (`checkpoint::restore`, `CompiledEnsemble::from_bytes`) with \
+                  no dominating length guard on the same value chain — \
+                  corrupted input must be refused, never allowed to panic",
         scope: &[],
         interprocedural: true,
     },

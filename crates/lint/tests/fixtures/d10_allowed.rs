@@ -1,0 +1,12 @@
+//! The d10 twin with a justified suppression.
+
+pub fn total_score(rows: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let workers = mfpa_par::Workers::from_config(0);
+    let _doubled = mfpa_par::ordered_map(rows, workers, |_, r| {
+        // mfpa-lint: allow(d10, "single-worker combinator: config pins MFPA_THREADS=1 here")
+        total += *r;
+        *r
+    });
+    total
+}

@@ -1,0 +1,13 @@
+//! d10: order-sensitive float accumulation into a variable captured by
+//! a closure handed to a parallel combinator. The worker interleaving
+//! decides the addition order, so the total drifts run to run.
+
+pub fn total_score(rows: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let workers = mfpa_par::Workers::from_config(0);
+    let _doubled = mfpa_par::ordered_map(rows, workers, |_, r| {
+        total += *r;
+        *r
+    });
+    total
+}

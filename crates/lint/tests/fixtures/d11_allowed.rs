@@ -1,0 +1,22 @@
+//! The d11 twin with a justified suppression at the diverging field.
+
+pub struct Header {
+    pub magic: u32,
+    pub count: u64,
+    pub scale: f64,
+}
+
+pub fn encode_header(h: &Header, w: &mut ByteWriter) {
+    w.u32(h.magic);
+    // mfpa-lint: allow(d11, "v1 readers tolerate the swapped tail fields; fixed in v2 framing")
+    w.u64(h.count);
+    w.f64(h.scale);
+}
+
+pub fn decode_header(rd: &mut ByteReader) -> Result<Header, String> {
+    Ok(Header {
+        magic: rd.u32()?,
+        scale: rd.f64()?,
+        count: rd.u64()?,
+    })
+}

@@ -1,0 +1,23 @@
+//! d11: a hand-rolled encoder/decoder pair whose field order diverges.
+//! The encoder writes magic, count, scale; the decoder reads magic,
+//! scale, count — the second field's width no longer mirrors.
+
+pub struct Header {
+    pub magic: u32,
+    pub count: u64,
+    pub scale: f64,
+}
+
+pub fn encode_header(h: &Header, w: &mut ByteWriter) {
+    w.u32(h.magic);
+    w.u64(h.count);
+    w.f64(h.scale);
+}
+
+pub fn decode_header(rd: &mut ByteReader) -> Result<Header, String> {
+    Ok(Header {
+        magic: rd.u32()?,
+        scale: rd.f64()?,
+        count: rd.u64()?,
+    })
+}

@@ -1,0 +1,12 @@
+//! The d12 twin with a justified suppression.
+
+pub mod checkpoint {
+    pub fn restore(data: &[u8]) -> u8 {
+        super::parse_frame(data)
+    }
+}
+
+fn parse_frame(data: &[u8]) -> u8 {
+    // mfpa-lint: allow(d12, "callers hand over frames already length-checked against the header")
+    data[4]
+}

@@ -1,0 +1,12 @@
+//! d12: slice indexing reachable from a decode root with no dominating
+//! length guard — hostile bytes panic instead of returning an error.
+
+pub mod checkpoint {
+    pub fn restore(data: &[u8]) -> u8 {
+        super::parse_frame(data)
+    }
+}
+
+fn parse_frame(data: &[u8]) -> u8 {
+    data[4]
+}

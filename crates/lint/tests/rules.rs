@@ -89,6 +89,33 @@ fn d6_truncating_cast() {
 }
 
 #[test]
+fn d10_float_reduction_order() {
+    case(
+        "d10",
+        include_str!("fixtures/d10_bad.rs"),
+        include_str!("fixtures/d10_allowed.rs"),
+    );
+}
+
+#[test]
+fn d11_codec_symmetry() {
+    case(
+        "d11",
+        include_str!("fixtures/d11_bad.rs"),
+        include_str!("fixtures/d11_allowed.rs"),
+    );
+}
+
+#[test]
+fn d12_decoder_bounds() {
+    case(
+        "d12",
+        include_str!("fixtures/d12_bad.rs"),
+        include_str!("fixtures/d12_allowed.rs"),
+    );
+}
+
+#[test]
 fn bench_crate_is_exempt_from_panic_and_timing_rules() {
     let src = include_str!("fixtures/d3_bad.rs");
     assert!(

@@ -1,8 +1,11 @@
-//! The lexer is total: any byte sequence (lossily decoded) must produce
-//! a token stream without panicking, including unterminated strings,
-//! comments, raw-string hash runs and lone quotes.
+//! The analysis stack is total: any byte sequence (lossily decoded)
+//! must flow through the lexer — and the full pipeline behind it
+//! (parser, dataflow, call graph, codec pairing) — without panicking,
+//! including unterminated strings, comments, raw-string hash runs,
+//! lone quotes, and closure/codec-shaped fragments.
 
 use mfpa_lint::lexer::tokenize;
+use mfpa_lint::lint_source;
 use proptest::prelude::*;
 
 proptest! {
@@ -21,5 +24,30 @@ proptest! {
         const ATOMS: [&str; 8] = ["\"", "'", "#", "r", "b", "\\", "/*", "//"];
         let src: String = parts.iter().map(|&i| ATOMS[i]).collect();
         let _ = tokenize(&src);
+    }
+
+    #[test]
+    fn full_pipeline_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // `lint_source` drives every layer: parser item recovery,
+        // per-function dataflow (d10–d12 facts), the call graph with
+        // decode-root reachability, codec pairing, and emission.
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lint_source("core", "crates/core/src/fuzz.rs", &src);
+    }
+
+    #[test]
+    fn full_pipeline_never_panics_on_closure_and_codec_shaped_input(
+        parts in prop::collection::vec(0usize..16, 0..96),
+    ) {
+        // Bias toward the dataflow layer's state machines: closure
+        // pipes, compound assignment, range loops, slice indexing,
+        // codec-vocabulary calls and match arms in random order.
+        const ATOMS: [&str; 16] = [
+            "fn encode_x(", "fn decode_x(", "w.u32(", "rd.u64()", "|a, b| ",
+            "for i in 0..n ", "x[i]", "+= 1.0", "ordered_map(", "map_reduce(",
+            "{", "}", ";", ",", "match t ", "=> ",
+        ];
+        let src: String = parts.iter().map(|&i| ATOMS[i]).collect();
+        let _ = lint_source("core", "crates/core/src/fuzz.rs", &src);
     }
 }

@@ -31,6 +31,7 @@
 //! decoder (same codec discipline as `core::checkpoint`), so a monitor
 //! process can load a model without refitting.
 
+use mfpa_bytes::{unseal, ByteReader, ByteWriter};
 use mfpa_dataset::Matrix;
 use mfpa_par::{ordered_collect, Workers};
 
@@ -219,10 +220,11 @@ impl CompiledEnsemble {
     /// thresholds and fills in node cuts.
     fn build_lanes(&mut self) {
         let mut per_feat: Vec<Vec<f64>> = vec![Vec::new(); self.n_features];
-        for i in 0..self.feat.len() {
-            if self.feat[i] != LEAF {
-                per_feat[self.feat[i] as usize].push(self.thr[i]);
+        for (&f, &t) in self.feat.iter().zip(&self.thr) {
+            if f == LEAF || f as usize >= per_feat.len() {
+                continue;
             }
+            per_feat[f as usize].push(t);
         }
         self.lanes = per_feat
             .into_iter()
@@ -241,15 +243,21 @@ impl CompiledEnsemble {
                 }
             })
             .collect();
-        for i in 0..self.feat.len() {
-            if self.feat[i] == LEAF {
+        let nodes = self
+            .feat
+            .iter()
+            .zip(&self.thr)
+            .zip(self.cut.iter_mut())
+            .zip(self.qflag.iter_mut());
+        for (((&f, &t), cut), qflag) in nodes {
+            if f == LEAF || f as usize >= self.lanes.len() {
                 continue;
             }
-            if let Lane::Quantized(edges) = &self.lanes[self.feat[i] as usize] {
-                let c = edges.partition_point(|&e| e < self.thr[i]);
-                debug_assert!(c < edges.len() && edges[c] == self.thr[i]);
-                self.cut[i] = u8::try_from(c).unwrap_or(u8::MAX);
-                self.qflag[i] = 1;
+            if let Lane::Quantized(edges) = &self.lanes[f as usize] {
+                let c = edges.partition_point(|&e| e < t);
+                debug_assert!(c < edges.len() && edges[c] == t);
+                *cut = u8::try_from(c).unwrap_or(u8::MAX);
+                *qflag = 1;
             }
         }
     }
@@ -1098,58 +1106,26 @@ const MFPAC_MAGIC: u32 = 0x4350_464D;
 /// Artifact format version.
 const MFPAC_VERSION: u32 = 1;
 
-const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// [`mfpa_bytes::ByteReader`] adapter mapping truncation errors into
+/// structured [`MlError::CorruptArtifact`] values — every overrun is
+/// an error, never a panic.
+struct Rd<'a>(ByteReader<'a>);
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = FNV_BASIS;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-/// Bounds-checked little-endian reader; every overrun is a structured
-/// [`MlError::CorruptArtifact`], never a panic.
-struct Rd<'a> {
-    b: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Rd<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], MlError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.b.len());
-        match end {
-            Some(end) => {
-                let s = &self.b[self.pos..end];
-                self.pos = end;
-                Ok(s)
-            }
-            None => Err(MlError::CorruptArtifact(
-                "unexpected end of artifact".to_owned(),
-            )),
-        }
-    }
-
+impl Rd<'_> {
     fn u8(&mut self) -> Result<u8, MlError> {
-        Ok(self.take(1)?[0])
+        self.0.u8().map_err(corrupt)
     }
 
     fn u32(&mut self) -> Result<u32, MlError> {
-        let s = self.take(4)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, MlError> {
-        let s = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
-        ]))
+        self.0.u32().map_err(corrupt)
     }
 
     fn f64(&mut self) -> Result<f64, MlError> {
-        Ok(f64::from_bits(self.u64()?))
+        self.0.f64().map_err(corrupt)
+    }
+
+    fn counter(&mut self) -> Result<usize, MlError> {
+        self.0.counter().map_err(corrupt)
     }
 }
 
@@ -1164,48 +1140,48 @@ impl CompiledEnsemble {
     /// node thresholds and are rebuilt on load.
     pub fn to_bytes(&self) -> Vec<u8> {
         let n_nodes = self.feat.len();
-        let mut out = Vec::with_capacity(64 + n_nodes * 25 + self.tree_roots.len() * 8);
-        out.extend(MFPAC_MAGIC.to_le_bytes());
-        out.extend(MFPAC_VERSION.to_le_bytes());
-        out.extend((self.n_features as u64).to_le_bytes());
-        out.extend((self.tree_roots.len() as u64).to_le_bytes());
-        out.extend((n_nodes as u64).to_le_bytes());
+        let mut w = ByteWriter::with_capacity(64 + n_nodes * 25 + self.tree_roots.len() * 8);
+        w.u32(MFPAC_MAGIC);
+        w.u32(MFPAC_VERSION);
+        w.counter(self.n_features);
+        w.counter(self.tree_roots.len());
+        w.counter(n_nodes);
         match self.finalize {
+            // RfMean carries no parameters; two zero floats keep both
+            // arms the same shape so the field layout is tag-independent.
             Finalize::RfMean => {
-                out.push(0);
-                out.extend(0u64.to_le_bytes());
-                out.extend(0u64.to_le_bytes());
+                w.u8(0);
+                w.f64(0.0);
+                w.f64(0.0);
             }
             Finalize::GbdtLogistic {
                 base_score,
                 learning_rate,
             } => {
-                out.push(1);
-                out.extend(base_score.to_bits().to_le_bytes());
-                out.extend(learning_rate.to_bits().to_le_bytes());
+                w.u8(1);
+                w.f64(base_score);
+                w.f64(learning_rate);
             }
         }
         for &r in &self.tree_roots {
-            out.extend(r.to_le_bytes());
+            w.u32(r);
         }
         for &d in &self.tree_depths {
-            out.extend(d.to_le_bytes());
+            w.u32(d);
         }
         for &f in &self.feat {
-            out.extend(f.to_le_bytes());
+            w.u32(f);
         }
         for &t in &self.thr {
-            out.extend(t.to_bits().to_le_bytes());
+            w.f64(t);
         }
         for &l in &self.left {
-            out.extend(l.to_le_bytes());
+            w.u32(l);
         }
         for &v in &self.value {
-            out.extend(v.to_bits().to_le_bytes());
+            w.f64(v);
         }
-        let footer = fnv1a64(&out);
-        out.extend(footer.to_le_bytes());
-        out
+        w.into_sealed()
     }
 
     /// Decodes a `.mfpac` artifact. Any corruption — truncation, bit
@@ -1217,17 +1193,8 @@ impl CompiledEnsemble {
     ///
     /// [`MlError::CorruptArtifact`] as described above.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, MlError> {
-        if bytes.len() < 8 {
-            return Err(corrupt("artifact shorter than its footer"));
-        }
-        let (body, footer) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes([
-            footer[0], footer[1], footer[2], footer[3], footer[4], footer[5], footer[6], footer[7],
-        ]);
-        if fnv1a64(body) != stored {
-            return Err(corrupt("checksum mismatch (truncated or corrupted)"));
-        }
-        let mut rd = Rd { b: body, pos: 0 };
+        let body = unseal(bytes).map_err(corrupt)?;
+        let mut rd = Rd(ByteReader::new(body));
         if rd.u32()? != MFPAC_MAGIC {
             return Err(corrupt("bad magic (not an .mfpac artifact)"));
         }
@@ -1235,9 +1202,9 @@ impl CompiledEnsemble {
         if version != MFPAC_VERSION {
             return Err(corrupt(format!("unsupported version {version}")));
         }
-        let n_features = usize::try_from(rd.u64()?).map_err(|_| corrupt("n_features overflow"))?;
-        let n_trees = usize::try_from(rd.u64()?).map_err(|_| corrupt("n_trees overflow"))?;
-        let n_nodes = usize::try_from(rd.u64()?).map_err(|_| corrupt("n_nodes overflow"))?;
+        let n_features = rd.counter()?;
+        let n_trees = rd.counter()?;
+        let n_nodes = rd.counter()?;
         if n_features == 0 || n_features > 1 << 20 {
             return Err(corrupt(format!("implausible feature count {n_features}")));
         }
@@ -1304,7 +1271,7 @@ impl CompiledEnsemble {
         // traversal can never cycle or escape), features in range, and
         // stored depths equal to the recomputed reachable depth (the
         // level-synchronous kernel iterates exactly that many levels).
-        if tree_roots[0] != 0 {
+        if tree_roots.first() != Some(&0) {
             return Err(corrupt("first tree root must be node 0"));
         }
         for t in 0..n_trees {
@@ -1319,6 +1286,7 @@ impl CompiledEnsemble {
             }
             let mut depth = vec![0u32; e - s];
             let mut reached = vec![false; e - s];
+            // mfpa-lint: allow(d12, "slot 0 exists: the s >= e refusal above guarantees e - s >= 1")
             reached[0] = true;
             let mut max_depth = 0u32;
             for ix in s..e {

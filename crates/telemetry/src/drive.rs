@@ -306,7 +306,9 @@ impl DriveModel {
     /// with no table scan or panic path (roundtrip locked by the
     /// `index_roundtrips_through_all` test).
     pub fn index(&self) -> usize {
-        let before: usize = MODELS_PER_VENDOR[..self.vendor.index()].iter().sum();
+        let v = self.vendor.index();
+        debug_assert!(v <= MODELS_PER_VENDOR.len());
+        let before: usize = MODELS_PER_VENDOR[..v].iter().sum();
         before + usize::from(self.ordinal).saturating_sub(1)
     }
 }

@@ -171,7 +171,9 @@ impl SmartValues {
 
     /// Reads one attribute.
     pub fn get(&self, attr: SmartAttr) -> f64 {
-        self.values[attr.index()]
+        let i = attr.index();
+        debug_assert!(i < self.values.len());
+        self.values[i]
     }
 
     /// Writes one attribute.

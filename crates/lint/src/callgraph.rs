@@ -22,6 +22,7 @@
 //! *included* in the deterministic perimeter, never wrongly excluded.
 
 use crate::dataflow::FnFlow;
+use crate::lexer::Token;
 use crate::parser::{Callee, ParsedFile};
 use crate::taint::FnFacts;
 use std::collections::BTreeMap;
@@ -84,6 +85,9 @@ pub struct FileItems {
     pub facts: Vec<FnFacts>,
     /// Per-function dataflow facts, parallel to `parsed.functions`.
     pub flows: Vec<FnFlow>,
+    /// The comment-free token stream the items were parsed from, for
+    /// downstream token-level passes (the value-range interpreter).
+    pub code: Vec<Token>,
 }
 
 /// The workspace call graph.
@@ -502,6 +506,7 @@ mod tests {
             parsed,
             facts,
             flows,
+            code,
         }
     }
 

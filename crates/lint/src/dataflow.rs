@@ -212,7 +212,7 @@ fn tok_line(code: &[Token], i: usize) -> u32 {
 /// Number tokens that denote floats: a decimal point, an `f32`/`f64`
 /// suffix, or an exponent. An `e`/`E` counts as an exponent only next
 /// to a digit — integer suffixes (`0usize`) carry a bare `e`.
-fn is_float_number(text: &str) -> bool {
+pub(crate) fn is_float_number(text: &str) -> bool {
     if text.starts_with("0x") {
         return false;
     }

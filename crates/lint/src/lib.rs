@@ -31,11 +31,14 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
+pub mod cache;
 pub mod callgraph;
 pub mod dataflow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod taint;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -70,8 +73,10 @@ pub const DECODE_ROOT_SPECS: &[&str] = &["checkpoint::restore", "CompiledEnsembl
 
 /// The snapshot/JSON schema version. Bumped to 2 when findings gained
 /// the `chain` field and the snapshot per-rule `entries`; to 3 when the
-/// dataflow rules d10–d12 joined the catalog.
-pub const SCHEMA_VERSION: u32 = 3;
+/// dataflow rules d10–d12 joined the catalog; to 4 when the value-range
+/// rules d13–d15 joined and d6 became a fallback behind the semantic
+/// cast judgment.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Options controlling the analysis.
 #[derive(Debug, Clone, Copy, Default)]
@@ -284,17 +289,18 @@ pub struct SourceFile {
     pub text: String,
 }
 
-/// Per-file output of the parallel scan stage.
-struct FileScan {
-    crate_name: String,
-    label: String,
-    allows: Vec<Suppression>,
-    malformed: Vec<RawFinding>,
-    lexical: Vec<RawFinding>,
-    items: FileItems,
+/// Per-file output of the parallel scan stage. `pub(crate)` so the
+/// incremental cache ([`cache`]) can persist and reconstruct it.
+pub(crate) struct FileScan {
+    pub(crate) crate_name: String,
+    pub(crate) label: String,
+    pub(crate) allows: Vec<Suppression>,
+    pub(crate) malformed: Vec<RawFinding>,
+    pub(crate) lexical: Vec<RawFinding>,
+    pub(crate) items: FileItems,
 }
 
-fn scan_file(sf: &SourceFile) -> FileScan {
+pub(crate) fn scan_file(sf: &SourceFile) -> FileScan {
     let tokens = lexer::tokenize(&sf.text);
     let kept = rules::strip_test_code(&tokens);
     let (allows, malformed) = rules::extract_suppressions(&kept);
@@ -324,6 +330,7 @@ fn scan_file(sf: &SourceFile) -> FileScan {
             parsed,
             facts,
             flows,
+            code,
         },
     }
 }
@@ -345,10 +352,21 @@ pub fn build_call_graph(files: &[SourceFile]) -> CallGraph {
 pub fn lint_files(files: &[SourceFile], opts: LintOptions) -> LintReport {
     let workers = mfpa_par::Workers::from_config(0);
     let scans = mfpa_par::ordered_map(files, workers, |_, sf| scan_file(sf));
+    assemble_report(&scans, opts)
+}
+
+/// The shared back half of a lint run: everything cross-file (call
+/// graph, reachability, value-range interpretation) plus suppression
+/// matching, over already-scanned files. Both the cold path
+/// ([`lint_files`]) and the warm cache path
+/// ([`cache::lint_files_cached`]) land here, so the two are findings-
+/// identical by construction.
+fn assemble_report(scans: &[FileScan], opts: LintOptions) -> LintReport {
     let items: Vec<FileItems> = scans.iter().map(|s| s.items.clone()).collect();
     let graph = CallGraph::build(&items);
     let reach = Reachability::compute(&graph, ROOT_SPECS);
     let reach_decode = Reachability::compute(&graph, DECODE_ROOT_SPECS);
+    let abs = absint::analyze(&items, &graph);
 
     // Node indices per file label, for span lookup.
     let mut nodes_of_file: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
@@ -358,9 +376,9 @@ pub fn lint_files(files: &[SourceFile], opts: LintOptions) -> LintReport {
 
     let mut report = LintReport {
         findings: Vec::new(),
-        n_files: files.len(),
+        n_files: scans.len(),
     };
-    for scan in &scans {
+    for scan in scans {
         let file_nodes = nodes_of_file
             .get(scan.label.as_str())
             .map(Vec::as_slice)
@@ -370,6 +388,7 @@ pub fn lint_files(files: &[SourceFile], opts: LintOptions) -> LintReport {
             &graph,
             &reach,
             &reach_decode,
+            &abs,
             file_nodes,
             opts,
         ));
@@ -398,6 +417,7 @@ fn assemble_file(
     graph: &CallGraph,
     reach: &Reachability,
     reach_decode: &Reachability,
+    abs: &[absint::FnAbs],
     file_nodes: &[usize],
     opts: LintOptions,
 ) -> Vec<Finding> {
@@ -432,6 +452,25 @@ fn assemble_file(
         if matches!(raw.rule, "d3" | "d5") {
             if let Some(ix) = encl {
                 if reachable(ix) {
+                    continue;
+                }
+            }
+        }
+        // d6 demotion: the name heuristic yields to the semantic cast
+        // judgment whenever the value-range analysis reached a verdict
+        // on the same line — a proven-fitting cast is silence, a
+        // proven-truncating cast in reachable code is the d13 finding
+        // (with interval evidence) instead. Only an unjudged line
+        // (interval too wide, or code the interpreter never saw)
+        // keeps d6 as the fallback.
+        if raw.rule == "d6" {
+            if let Some(fa) = encl.and_then(|ix| abs.get(ix)) {
+                if fa.cast_fit_lines.contains(&raw.line)
+                    && !fa.cast_unknown_lines.contains(&raw.line)
+                {
+                    continue;
+                }
+                if fa.cast_risk_lines.contains(&raw.line) && encl.is_some_and(&reachable) {
                     continue;
                 }
             }
@@ -544,6 +583,28 @@ fn assemble_file(
                     line: s.line,
                     message: s.what.clone(),
                     chain: names_of(reach_decode, ix),
+                });
+            }
+        }
+    }
+
+    // Value-range rules d13–d15: facts from the abstract interpreter,
+    // gated by reachability from the deterministic roots (unreachable
+    // counter arithmetic cannot corrupt features or metrics) and
+    // carrying the root-to-sink chain plus interval evidence.
+    for &ix in file_nodes {
+        if !reachable(ix) {
+            continue;
+        }
+        let Some(fa) = abs.get(ix) else { continue };
+        let chain = chain_names(ix);
+        for (rule, sites) in [("d13", &fa.d13), ("d14", &fa.d14), ("d15", &fa.d15)] {
+            for s in sites {
+                hits.push(Hit {
+                    rule,
+                    line: s.line,
+                    message: s.what.clone(),
+                    chain: chain.clone(),
                 });
             }
         }

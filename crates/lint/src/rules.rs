@@ -183,6 +183,37 @@ pub const RULES: &[Rule] = &[
         scope: &[],
         interprocedural: true,
     },
+    Rule {
+        id: "d13",
+        name: "counter-arithmetic",
+        summary: "counter arithmetic reachable from a deterministic root that the \
+                  value-range analysis cannot prove safe: `a - b` where `b ≤ a` is \
+                  unproven, `+`/`*`/`<<` whose result interval provably exceeds the \
+                  target width, and `as` casts proven to truncate (interval-clean \
+                  casts demote the lexical d6 heuristic)",
+        scope: &[],
+        interprocedural: true,
+    },
+    Rule {
+        id: "d14",
+        name: "unguarded-division",
+        summary: "`/` or `%` reachable from a deterministic root whose denominator \
+                  interval includes 0 and is not dominated by a nonzero guard or \
+                  structured-error return (metrics ratios must not NaN/panic on \
+                  empty shards)",
+        scope: &[],
+        interprocedural: true,
+    },
+    Rule {
+        id: "d15",
+        name: "unit-mixing",
+        summary: "`+`/`-`/comparison between values of different inferred units \
+                  (`_ms`, `_days`, `_bytes`, `_gib`, `_ratio`, `wall_*`, `n_*`) \
+                  reachable from a deterministic root, without a named conversion \
+                  helper on the path",
+        scope: &[],
+        interprocedural: true,
+    },
 ];
 
 /// Looks up a catalog rule by id.
@@ -469,7 +500,7 @@ const COUNTER_WORDS: &[&str] = &[
     "poh",
 ];
 
-fn is_counterish(ident: &str) -> bool {
+pub(crate) fn is_counterish(ident: &str) -> bool {
     ident
         .split('_')
         .any(|seg| COUNTER_WORDS.contains(&seg.to_ascii_lowercase().as_str()))

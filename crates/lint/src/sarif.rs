@@ -1,0 +1,155 @@
+//! SARIF 2.1.0 rendering of a [`LintReport`] (`--format sarif`),
+//! hand-rolled like the JSON writer — the build environment has no
+//! crates.io, so no serde derive helpers beyond the vendored
+//! `serde_json` value type.
+//!
+//! The mapping keeps everything a standard CI viewer can use:
+//!
+//! * the rule catalog travels as `tool.driver.rules` (id, kebab name,
+//!   and the contract summary as `shortDescription`);
+//! * each finding becomes a `result` with a `physicalLocation`;
+//! * the d7-style `root → … → sink` call chain becomes a `codeFlow`
+//!   with one `threadFlow` location per chain hop, so viewers render
+//!   the path from the deterministic root to the sink;
+//! * `mfpa-lint: allow(...)` waivers become `suppressions` entries of
+//!   kind `inSource` carrying the mandatory justification, which is
+//!   how SARIF consumers distinguish waived from open results.
+//!
+//! Output is deterministic: findings arrive already sorted from
+//! [`LintReport`] and the rule array follows catalog order.
+
+use crate::{rules, Finding, LintReport};
+
+/// Renders `report` as a SARIF 2.1.0 log with a single run.
+#[must_use]
+pub fn to_sarif(report: &LintReport) -> serde_json::Value {
+    let rules_json: Vec<serde_json::Value> = rules::RULES
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "id": r.id,
+                "name": r.name,
+                "shortDescription": { "text": r.summary },
+            })
+        })
+        .collect();
+    let results: Vec<serde_json::Value> = report.findings.iter().map(result_json).collect();
+    serde_json::json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "mfpa-lint",
+                    "informationUri": "https://example.invalid/mfpa/DESIGN.md",
+                    "version": format!("{}.0.0", crate::SCHEMA_VERSION),
+                    "rules": rules_json,
+                }
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }]
+    })
+}
+
+fn result_json(f: &Finding) -> serde_json::Value {
+    let mut obj = serde_json::json!({
+        "ruleId": f.rule,
+        "level": "error",
+        "message": { "text": f.message },
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": { "uri": f.file },
+                "region": { "startLine": f.line },
+            }
+        }],
+    });
+    if let serde_json::Value::Object(map) = &mut obj {
+        if let Some(ix) = rules::RULES.iter().position(|r| r.id == f.rule) {
+            map.insert("ruleIndex".to_owned(), serde_json::json!(ix));
+        }
+        if f.chain.len() > 1 {
+            let hops: Vec<serde_json::Value> = f
+                .chain
+                .iter()
+                .map(|qname| {
+                    serde_json::json!({
+                        "location": {
+                            "physicalLocation": {
+                                "artifactLocation": { "uri": f.file },
+                                "region": { "startLine": f.line },
+                            },
+                            "message": { "text": qname },
+                        }
+                    })
+                })
+                .collect();
+            map.insert(
+                "codeFlows".to_owned(),
+                serde_json::json!([{ "threadFlows": [{ "locations": hops }] }]),
+            );
+        }
+        if let Some(reason) = &f.suppressed {
+            map.insert(
+                "suppressions".to_owned(),
+                serde_json::json!([{ "kind": "inSource", "justification": reason }]),
+            );
+        }
+    }
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, LintOptions, SourceFile};
+
+    #[test]
+    fn sarif_log_carries_rules_results_and_suppressions() {
+        let files = [SourceFile {
+            crate_name: "core".into(),
+            label: "crates/core/src/pipeline.rs".into(),
+            text: "
+                pub struct Mfpa;
+                impl Mfpa {
+                    pub fn prepare(&self, x: Option<u32>) -> u32 {
+                        let a = step(x);
+                        // mfpa-lint: allow(d8, \"covered by caller invariant\")
+                        let b = x.unwrap();
+                        a + b
+                    }
+                }
+                fn step(x: Option<u32>) -> u32 {
+                    x.unwrap()
+                }
+            "
+            .into(),
+        }];
+        let report = lint_files(&files, LintOptions::default());
+        let log = to_sarif(&report);
+        assert_eq!(log["version"].as_str(), Some("2.1.0"));
+        let run = &log["runs"].as_array().expect("runs array")[0];
+        let rules = run["tool"]["driver"]["rules"]
+            .as_array()
+            .expect("rules array");
+        assert_eq!(rules.len(), crate::rules::RULES.len());
+        let results = run["results"].as_array().expect("results array");
+        assert!(!results.is_empty(), "{log:?}");
+        let suppressed: Vec<_> = results
+            .iter()
+            .filter(|r| r.get("suppressions").is_some())
+            .collect();
+        assert_eq!(suppressed.len(), 1, "{results:?}");
+        let sup = &suppressed[0]["suppressions"].as_array().expect("array")[0];
+        assert_eq!(sup["kind"].as_str(), Some("inSource"), "{sup:?}");
+        // The open d8 result carries the chain as a codeFlow.
+        let with_flow = results
+            .iter()
+            .find(|r| r.get("codeFlows").is_some())
+            .expect("a chained result");
+        let flow = &with_flow["codeFlows"].as_array().expect("flows")[0];
+        let thread = &flow["threadFlows"].as_array().expect("threads")[0];
+        let hops = thread["locations"].as_array().expect("locations");
+        assert!(!hops.is_empty());
+    }
+}

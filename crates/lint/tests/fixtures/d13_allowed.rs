@@ -1,0 +1,14 @@
+//! The d13 twin with a justified suppression.
+
+pub struct DriveMonitor;
+
+impl DriveMonitor {
+    pub fn ingest(&mut self, poh_days: u64, window_days: u64) -> u64 {
+        trailing(poh_days, window_days)
+    }
+}
+
+fn trailing(poh_days: u64, window_days: u64) -> u64 {
+    // mfpa-lint: allow(d13, "ingest clamps window_days to poh_days upstream of this call")
+    poh_days - window_days
+}

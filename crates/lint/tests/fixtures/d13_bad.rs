@@ -1,0 +1,16 @@
+//! d13: counter subtraction whose operand order is never proven. If
+//! the trailing window ever exceeds the accumulated power-on days the
+//! unsigned difference wraps to ~2^64 and poisons every feature
+//! computed from it.
+
+pub struct DriveMonitor;
+
+impl DriveMonitor {
+    pub fn ingest(&mut self, poh_days: u64, window_days: u64) -> u64 {
+        trailing(poh_days, window_days)
+    }
+}
+
+fn trailing(poh_days: u64, window_days: u64) -> u64 {
+    poh_days - window_days
+}

@@ -1,0 +1,14 @@
+//! The d14 twin with a justified suppression.
+
+pub struct DriveMonitor;
+
+impl DriveMonitor {
+    pub fn ingest(&mut self, media_errors: u64, read_count: u64) -> f64 {
+        error_rate(media_errors, read_count)
+    }
+}
+
+fn error_rate(media_errors: u64, read_count: u64) -> f64 {
+    // mfpa-lint: allow(d14, "caller filters drives with zero reads before scoring")
+    media_errors as f64 / read_count as f64
+}

@@ -1,0 +1,15 @@
+//! d14: a ratio whose integer-derived denominator is never proven
+//! nonzero. A drive with zero reads sends NaN/inf through every
+//! downstream aggregate.
+
+pub struct DriveMonitor;
+
+impl DriveMonitor {
+    pub fn ingest(&mut self, media_errors: u64, read_count: u64) -> f64 {
+        error_rate(media_errors, read_count)
+    }
+}
+
+fn error_rate(media_errors: u64, read_count: u64) -> f64 {
+    media_errors as f64 / read_count as f64
+}

@@ -1,0 +1,14 @@
+//! The d15 twin with a justified suppression.
+
+pub struct DriveMonitor;
+
+impl DriveMonitor {
+    pub fn ingest(&mut self, uptime_ms: u64, age_days: u64) -> u64 {
+        staleness(uptime_ms, age_days)
+    }
+}
+
+fn staleness(uptime_ms: u64, age_days: u64) -> u64 {
+    // mfpa-lint: allow(d15, "opaque staleness score, not a physical quantity; units cancel in the rank")
+    uptime_ms + age_days
+}

@@ -1,0 +1,15 @@
+//! d15: milliseconds added to days. Both operands are plain integers,
+//! so the type system is silent; only the unit suffixes reveal that
+//! the sum is dimensional nonsense.
+
+pub struct DriveMonitor;
+
+impl DriveMonitor {
+    pub fn ingest(&mut self, uptime_ms: u64, age_days: u64) -> u64 {
+        staleness(uptime_ms, age_days)
+    }
+}
+
+fn staleness(uptime_ms: u64, age_days: u64) -> u64 {
+    uptime_ms + age_days
+}

@@ -1,4 +1,5 @@
 //! Fixture `core` crate for the interprocedural lint tests.
 
+pub mod metrics;
 pub mod pipeline;
 pub mod sanitize;

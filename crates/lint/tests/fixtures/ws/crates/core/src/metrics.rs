@@ -1,0 +1,7 @@
+//! Fixture metrics: a ratio whose integer denominator is never proven
+//! nonzero — the planted d14, reached from `pipeline::prepare`.
+
+/// Share of failed drives among `total`, which may be zero.
+pub fn failure_ratio(failed: u64, total: u64) -> f64 {
+    failed as f64 / total as f64
+}

@@ -1,6 +1,7 @@
 //! Fixture pipeline: the declared root `prepare` reaches a leaf panic
-//! two calls down in `sanitize`.
+//! two calls down in `sanitize` and an unguarded ratio in `metrics`.
 
+use crate::metrics::failure_ratio;
 use crate::sanitize::clean;
 
 /// Pipeline façade mirroring `mfpa-core`.
@@ -9,6 +10,7 @@ pub struct Mfpa;
 impl Mfpa {
     /// Declared deterministic root (`pipeline::prepare`).
     pub fn prepare(&self) -> u32 {
+        let _share = failure_ratio(1, 3);
         clean(&[1, 2, 3])
     }
 }

@@ -61,8 +61,27 @@ fn fixture_workspace_findings_carry_full_chains() {
     assert_eq!(d5.len(), 1, "{findings:#?}");
     assert_eq!(d5[0].chain, ["fleetsim::fleet::orphan"]);
 
+    // The unguarded ratio in `metrics` is a value-range d14, carrying
+    // both the route from the root and the interval evidence.
+    let d14: Vec<_> = findings.iter().filter(|f| f.rule == "d14").collect();
+    assert_eq!(d14.len(), 1, "{findings:#?}");
+    assert_eq!(d14[0].file, "crates/core/src/metrics.rs");
+    assert_eq!(
+        d14[0].chain,
+        [
+            "core::pipeline::Mfpa::prepare",
+            "core::metrics::failure_ratio",
+        ],
+        "the division two calls below the root must show the route"
+    );
+    assert!(
+        d14[0].message.contains("may be zero"),
+        "{:?}",
+        d14[0].message
+    );
+
     // Nothing else fires, and every finding names its location.
-    assert_eq!(findings.len(), 4, "{findings:#?}");
+    assert_eq!(findings.len(), 5, "{findings:#?}");
     for f in &findings {
         assert!(!f.chain.is_empty(), "finding without a chain: {f:#?}");
     }
@@ -90,6 +109,33 @@ fn fixture_workspace_call_graph_matches_golden() {
     assert_eq!(
         pretty, stored,
         "call graph drifted from tests/golden/callgraph_ws.json — if the \
+         change is intended, re-bless with MFPA_BLESS=1 and review the diff"
+    );
+}
+
+/// The fixture workspace's SARIF rendering, pinned as a golden
+/// snapshot: rule catalog, results, codeFlows for the chains. Re-bless
+/// with `MFPA_BLESS=1 cargo test -p mfpa-lint --test interprocedural`.
+#[test]
+fn fixture_workspace_sarif_matches_golden() {
+    let report = lint_files(&fixture_ws(), LintOptions::default());
+    let pretty = mfpa_lint::pretty_json(&mfpa_lint::sarif::to_sarif(&report));
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sarif_ws.json");
+    if std::env::var_os("MFPA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, pretty).expect("write golden");
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\nrun `MFPA_BLESS=1 cargo test -p mfpa-lint \
+             --test interprocedural` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        pretty, stored,
+        "SARIF output drifted from tests/golden/sarif_ws.json — if the \
          change is intended, re-bless with MFPA_BLESS=1 and review the diff"
     );
 }

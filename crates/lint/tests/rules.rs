@@ -116,6 +116,33 @@ fn d12_decoder_bounds() {
 }
 
 #[test]
+fn d13_unproven_counter_subtraction() {
+    case(
+        "d13",
+        include_str!("fixtures/d13_bad.rs"),
+        include_str!("fixtures/d13_allowed.rs"),
+    );
+}
+
+#[test]
+fn d14_unguarded_division() {
+    case(
+        "d14",
+        include_str!("fixtures/d14_bad.rs"),
+        include_str!("fixtures/d14_allowed.rs"),
+    );
+}
+
+#[test]
+fn d15_unit_mixing() {
+    case(
+        "d15",
+        include_str!("fixtures/d15_bad.rs"),
+        include_str!("fixtures/d15_allowed.rs"),
+    );
+}
+
+#[test]
 fn bench_crate_is_exempt_from_panic_and_timing_rules() {
     let src = include_str!("fixtures/d3_bad.rs");
     assert!(

@@ -50,4 +50,21 @@ proptest! {
         let src: String = parts.iter().map(|&i| ATOMS[i]).collect();
         let _ = lint_source("core", "crates/core/src/fuzz.rs", &src);
     }
+
+    #[test]
+    fn full_pipeline_never_panics_on_arithmetic_shaped_input(
+        parts in prop::collection::vec(0usize..20, 0..96),
+    ) {
+        // Bias toward the value-range interpreter's state machines:
+        // guards, counter arithmetic, casts, shifts, unit-suffixed
+        // idents, loops and early returns in random order.
+        const ATOMS: [&str; 20] = [
+            "fn ingest(", "poh_days: u64", "window_days", "if ", "<= ",
+            "== 0 ", "return 0; ", "else ", "- ", "/ ",
+            "as u32", "as f64", "<< ", ".max(1)", ".len()",
+            "uptime_ms", "let mut n_count = ", "while ", "loop ", "break; ",
+        ];
+        let src: String = parts.iter().map(|&i| ATOMS[i]).collect();
+        let _ = lint_source("core", "crates/core/src/fuzz.rs", &src);
+    }
 }

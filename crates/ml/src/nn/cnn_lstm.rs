@@ -195,6 +195,9 @@ impl Classifier for CnnLstm {
         for _epoch in 0..self.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(self.batch_size) {
+                if batch.is_empty() {
+                    continue; // chunks() never yields one, but the div below needs it provable
+                }
                 for p in state
                     .conv
                     .params_mut()

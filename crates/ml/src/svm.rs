@@ -93,6 +93,9 @@ impl LinearSvm {
 /// descent with a small number of iterations (Platt scaling).
 fn fit_platt(margins: &[f64], y: &[bool]) -> (f64, f64) {
     let (mut a, mut b) = (1.0f64, 0.0f64);
+    if margins.is_empty() {
+        return (a, b);
+    }
     let n = margins.len() as f64;
     let lr = 0.5;
     for _ in 0..300 {

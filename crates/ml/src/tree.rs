@@ -417,7 +417,10 @@ impl DecisionTree {
             value,
         });
 
-        if depth >= ctx.params.max_depth || indices.len() < ctx.params.min_samples_split {
+        if indices.is_empty()
+            || depth >= ctx.params.max_depth
+            || indices.len() < ctx.params.min_samples_split
+        {
             return node_ix;
         }
         // Pure node (zero SSE): nothing left to explain.
@@ -448,6 +451,9 @@ impl DecisionTree {
     }
 
     fn best_split(&self, ctx: &mut BuildCtx<'_>, indices: &[usize]) -> Option<Split> {
+        if indices.is_empty() {
+            return None;
+        }
         let n_candidates = ctx.params.max_features.resolve(ctx.feature_pool.len());
         ctx.feature_pool.shuffle(&mut ctx.rng);
         let candidates: Vec<usize> = ctx.feature_pool[..n_candidates].to_vec();
@@ -478,7 +484,8 @@ impl DecisionTree {
                     continue; // can only split between distinct values
                 }
                 let right_n = total_n - left_n;
-                if (left_n as usize) < ctx.params.min_samples_leaf
+                if right_n < 1.0
+                    || (left_n as usize) < ctx.params.min_samples_leaf
                     || (right_n as usize) < ctx.params.min_samples_leaf
                 {
                     continue;
@@ -531,7 +538,10 @@ impl DecisionTree {
             value,
         });
 
-        if depth >= ctx.params.max_depth || indices.len() < ctx.params.min_samples_split {
+        if indices.is_empty()
+            || depth >= ctx.params.max_depth
+            || indices.len() < ctx.params.min_samples_split
+        {
             return node_ix;
         }
         let sum_sq: f64 = indices
@@ -617,6 +627,9 @@ impl DecisionTree {
         candidates: &[usize],
         hists: &[Option<Hist>],
     ) -> Option<BinnedSplit> {
+        if indices.is_empty() {
+            return None;
+        }
         let total_n = indices.len() as f64;
         let total_cnt = indices.len() as u32;
         let parent_score = total_sum * total_sum / total_n;
@@ -637,7 +650,7 @@ impl DecisionTree {
                 if left_cnt == 0 {
                     continue; // nothing routes left of this boundary
                 }
-                let right_cnt = total_cnt - left_cnt;
+                let right_cnt: u32 = total_cnt - left_cnt;
                 if right_cnt == 0 {
                     break; // nothing ever routes right of here
                 }

@@ -32,7 +32,10 @@ echo "== mfpa-lint waiver ratchet: allow count may only go down =="
 # new allow must bump this constant in the same commit, with a comment
 # saying which waiver was added and why. History: 16 through PR 8;
 # 17 since PR 9 (one d12 waiver: the slot-0 bootstrap index in
-# CompiledEnsemble::from_bytes, justified in the snapshot).
+# CompiledEnsemble::from_bytes, justified in the snapshot). Unchanged
+# in PR 10: the value-range rules d13-d15 landed with zero new
+# waivers — every flagged site was made provable instead (is_empty
+# early-returns, a right_n < 1.0 guard, one u32 annotation).
 max_allows=17
 n_allows="$(grep -o '"allows": [0-9]*' results/lint_report.json | awk '{s+=$2} END {print s+0}')"
 if [ "$n_allows" -gt "$max_allows" ]; then
@@ -42,9 +45,9 @@ if [ "$n_allows" -gt "$max_allows" ]; then
 fi
 echo "waiver count $n_allows <= ceiling $max_allows"
 
-echo "== mfpa-lint fixture workspace: both output formats over tests/fixtures/ws =="
+echo "== mfpa-lint fixture workspace: all output formats over tests/fixtures/ws =="
 fixture_ws="crates/lint/tests/fixtures/ws"
-for fmt in human json; do
+for fmt in human json sarif; do
     # The fixture workspace contains planted violations; exit 1 is the
     # expected outcome, anything else (0 = missed, 2 = crashed) fails.
     status=0
@@ -54,7 +57,7 @@ for fmt in human json; do
         exit 1
     fi
 done
-echo "fixture violations reported in both formats"
+echo "fixture violations reported in all three formats"
 
 echo "== mfpa-lint negative smoke: injected violations must fail the gate =="
 smoke_dir="$(mktemp -d)"
@@ -136,6 +139,41 @@ if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
     exit 1
 fi
 echo "d10/d11/d12 injections caught, as expected"
+
+echo "== value-range negative smokes: d13/d14/d15 injections must fail the scan =="
+# d13: counter subtraction with no proof that the window stays below
+# the accumulated count — wraps to ~2^64 when it does not.
+cat > "$smoke_dir/crates/core/src/deploy.rs" <<'RS'
+pub fn score_fleet(day_count: u64, reorder_window: u64) -> u64 {
+    day_count - reorder_window
+}
+RS
+if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
+    echo "error: mfpa-lint did not flag an unproven counter subtraction (d13)" >&2
+    exit 1
+fi
+# d14: a metrics ratio whose integer denominator may be zero.
+cat > "$smoke_dir/crates/core/src/deploy.rs" <<'RS'
+pub fn score_fleet(total_errs: u64, n_drives: u64) -> f64 {
+    total_errs as f64 / n_drives as f64
+}
+RS
+if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
+    echo "error: mfpa-lint did not flag a maybe-zero denominator (d14)" >&2
+    exit 1
+fi
+# d15: milliseconds added to days — dimensional nonsense the type
+# system cannot see.
+cat > "$smoke_dir/crates/core/src/deploy.rs" <<'RS'
+pub fn score_fleet(uptime_ms: u64, age_days: u64) -> u64 {
+    uptime_ms + age_days
+}
+RS
+if target/release/mfpa-lint --root "$smoke_dir" > /dev/null; then
+    echo "error: mfpa-lint did not flag a cross-unit sum (d15)" >&2
+    exit 1
+fi
+echo "d13/d14/d15 injections caught, as expected"
 
 echo "== criterion smoke: histogram vs exact split search (1 sample) =="
 MFPA_BENCH_SAMPLES=1 cargo bench -p mfpa-bench --bench models -- hist
